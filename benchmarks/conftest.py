@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table of the
+paper.  The first run simulates the full experiment grid (minutes);
+results are cached on disk, so re-runs are fast.  Each table is also
+written to ``results/tableN.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(verbose=False)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,69 @@
+"""Ablation: the optional CSE + LICM passes (DESIGN.md section 10).
+
+The paper's evaluation is calibrated without these cleanups (its
+Multiflow baseline has them built in, ours measures the scheduling
+effects without them).  This bench quantifies what they are worth and
+— the important scheduling question — whether the balanced-vs-
+traditional comparison is robust to them.
+"""
+
+import pytest
+from conftest import save_and_print
+
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+from repro.workloads import WORKLOADS
+
+SUBSET = ["ARC2D", "tomcatv", "spice2g6", "doduc", "su2cor"]
+
+
+def run(name: str, scheduler: str, extra: bool):
+    options = Options(scheduler=scheduler, unroll=4, extra_opts=extra)
+    result = compile_source(WORKLOADS[name].source, options, name)
+    return Simulator(result.program).run()
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = []
+    for name in SUBSET:
+        bs_plain = run(name, "balanced", False)
+        bs_extra = run(name, "balanced", True)
+        ts_extra = run(name, "traditional", True)
+        out.append((name, bs_plain, bs_extra, ts_extra))
+    return out
+
+
+def test_ablation_extra_opts(benchmark, rows, results_dir):
+    benchmark(lambda: rows)
+    lines = ["Ablation: optional CSE + LICM passes (LU4)",
+             "",
+             f"{'benchmark':<11}{'BS cycles':>11}{'BS+extra':>11}"
+             f"{'dInstr':>9}{'BSvTS+extra':>13}"]
+    for name, bs_plain, bs_extra, ts_extra in rows:
+        dinstr = 1 - bs_extra.instructions / bs_plain.instructions
+        lines.append(
+            f"{name:<11}{bs_plain.total_cycles:>11}"
+            f"{bs_extra.total_cycles:>11}{100 * dinstr:>8.1f}%"
+            f"{ts_extra.total_cycles / bs_extra.total_cycles:>13.2f}")
+    save_and_print(results_dir, "ablation_extra_opts", "\n".join(lines))
+
+    for name, bs_plain, bs_extra, ts_extra in rows:
+        # The cleanups remove real work...
+        assert bs_extra.instructions < bs_plain.instructions, name
+        assert bs_extra.total_cycles <= bs_plain.total_cycles * 1.02, name
+        # ...and the balanced advantage survives them.
+        assert ts_extra.total_cycles / bs_extra.total_cycles > 0.9, name
+
+
+def test_extra_opts_preserve_results():
+    name = "hydro2d"
+    sims = []
+    for extra in (False, True):
+        options = Options(scheduler="balanced", extra_opts=extra)
+        result = compile_source(WORKLOADS[name].source, options, name)
+        sim = Simulator(result.program)
+        sim.run()
+        sims.append(sim)
+    for symbol in sims[0].program.symbols:
+        assert sims[0].get_symbol(symbol) == sims[1].get_symbol(symbol)

@@ -1,0 +1,63 @@
+"""Ablations of the balanced-weight computation (DESIGN.md section 8).
+
+Two design choices are ablated on a subset of the workload:
+
+* **component sharing** — the Kerns-Eggers series/parallel sharing rule
+  vs. splitting each contributor uniformly over all independent loads;
+* **the weight cap** — the paper's 50-cycle cap (footnote 1) vs. no cap.
+"""
+
+import pytest
+from conftest import save_and_print
+
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+from repro.workloads import WORKLOADS
+
+SUBSET = ["ARC2D", "hydro2d", "su2cor", "spice2g6", "tomcatv"]
+
+
+def cycles_for(name: str, **knobs) -> int:
+    options = Options(scheduler="balanced", unroll=4, **knobs)
+    result = compile_source(WORKLOADS[name].source, options, name)
+    return Simulator(result.program).run().total_cycles
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    rows = []
+    for name in SUBSET:
+        component = cycles_for(name)
+        uniform = cycles_for(name, balanced_component_sharing=False)
+        uncapped = cycles_for(name, balanced_cap=1e9)
+        tight_cap = cycles_for(name, balanced_cap=4)
+        rows.append((name, component, uniform, uncapped, tight_cap))
+    return rows
+
+
+def test_ablation_component_sharing(benchmark, ablation_rows, results_dir):
+    benchmark(lambda: ablation_rows)
+    lines = ["Ablation: balanced-weight sharing rule and cap "
+             "(total cycles, LU4)",
+             "",
+             f"{'benchmark':<12}{'component':>11}{'uniform':>11}"
+             f"{'uncapped':>11}{'cap=4':>11}"]
+    for name, component, uniform, uncapped, tight in ablation_rows:
+        lines.append(f"{name:<12}{component:>11}{uniform:>11}"
+                     f"{uncapped:>11}{tight:>11}")
+    save_and_print(results_dir, "ablation_weights", "\n".join(lines))
+
+    # The paper-faithful configuration should not lose badly to either
+    # ablated variant on average.
+    total_component = sum(r[1] for r in ablation_rows)
+    total_uniform = sum(r[2] for r in ablation_rows)
+    total_tight = sum(r[4] for r in ablation_rows)
+    assert total_component <= total_uniform * 1.05
+    assert total_component <= total_tight * 1.05
+
+
+def test_ablation_cap_bounds_pressure(ablation_rows):
+    """An enormous cap must not blow up cycle counts (the pressure-aware
+    scheduler and allocator absorb it)."""
+    for name, component, _, uncapped, _ in ablation_rows:
+        assert uncapped <= component * 1.25, name

@@ -1,0 +1,87 @@
+"""Sensitivity study: what drives balanced scheduling's advantage.
+
+The paper's thesis is that balanced scheduling wins exactly when the
+code offers load-level parallelism for it to exploit.  Using the
+parametric kernel generator, this bench sweeps the drivers directly:
+
+* loads per iteration (load-level parallelism) — the advantage should
+  *grow* along this axis;
+* working-set size (which memory level loads hit) — with everything in
+  L1 there is nothing to hide and both schedulers tie;
+* serial dependence chains — hostile to any scheduler, advantage gone.
+"""
+
+import pytest
+from conftest import save_and_print
+
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+from repro.workloads import KernelSpec, generate_kernel
+
+
+def bs_vs_ts(spec: KernelSpec) -> float:
+    source = generate_kernel(spec)
+    cycles = {}
+    for scheduler in ("balanced", "traditional"):
+        result = compile_source(source, Options(scheduler=scheduler),
+                                "generated")
+        cycles[scheduler] = Simulator(result.program).run().total_cycles
+    return cycles["traditional"] / cycles["balanced"]
+
+
+@pytest.fixture(scope="module")
+def parallelism_sweep():
+    return [(loads, bs_vs_ts(KernelSpec(loads_per_iteration=loads,
+                                        flops_per_load=1, array_kb=96)))
+            for loads in (1, 2, 4, 6)]
+
+
+@pytest.fixture(scope="module")
+def working_set_sweep():
+    return [(kb, bs_vs_ts(KernelSpec(loads_per_iteration=4,
+                                     flops_per_load=1, array_kb=kb)))
+            for kb in (4, 32, 96, 256)]
+
+
+def test_advantage_grows_with_load_parallelism(benchmark,
+                                               parallelism_sweep,
+                                               results_dir):
+    benchmark(lambda: parallelism_sweep)
+    lines = ["Sensitivity: BS-over-TS speedup vs load-level parallelism",
+             "", f"{'loads/iter':>10}  {'BSvTS':>7}"]
+    lines += [f"{loads:>10}  {ratio:>7.3f}"
+              for loads, ratio in parallelism_sweep]
+    save_and_print(results_dir, "sensitivity_parallelism",
+                   "\n".join(lines))
+    first = parallelism_sweep[0][1]
+    last = parallelism_sweep[-1][1]
+    assert last > first + 0.1          # the paper's central thesis
+    assert last > 1.3
+
+
+def test_advantage_needs_cache_misses(benchmark, working_set_sweep,
+                                      results_dir):
+    benchmark(lambda: working_set_sweep)
+    lines = ["Sensitivity: BS-over-TS speedup vs working-set size",
+             "", f"{'KB':>6}  {'BSvTS':>7}"]
+    lines += [f"{kb:>6}  {ratio:>7.3f}" for kb, ratio in working_set_sweep]
+    save_and_print(results_dir, "sensitivity_workingset",
+                   "\n".join(lines))
+    resident = working_set_sweep[0][1]       # 4 KB: everything hits L1
+    out_of_cache = max(ratio for _, ratio in working_set_sweep[1:])
+    assert abs(resident - 1.0) < 0.1
+    assert out_of_cache > resident + 0.1
+
+
+def test_serial_chains_neutralize_the_advantage(benchmark, results_dir):
+    parallel = bs_vs_ts(KernelSpec(loads_per_iteration=4,
+                                   flops_per_load=1, array_kb=96))
+    serial = bs_vs_ts(KernelSpec(loads_per_iteration=4, flops_per_load=1,
+                                 array_kb=96, serial_chain=True))
+    benchmark(lambda: (parallel, serial))
+    lines = ["Sensitivity: dependence structure",
+             "",
+             f"independent trees: BSvTS = {parallel:.3f}",
+             f"serial chain:      BSvTS = {serial:.3f}"]
+    save_and_print(results_dir, "sensitivity_chains", "\n".join(lines))
+    assert serial < parallel

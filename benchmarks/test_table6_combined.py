@@ -1,0 +1,38 @@
+"""Table 6: speedups over balanced scheduling alone, all combinations.
+
+Paper reference: LU4 1.19, LU8 1.28, TrS+LU 1.19/1.26, LA 1.15,
+best combination (LA+TrS+LU8) 1.40.
+"""
+
+from conftest import save_and_print
+
+from repro.harness import table6
+from repro.harness.tables import TABLE6_CONFIGS
+
+
+def test_table6_combined_optimizations(benchmark, runner, results_dir):
+    table6(runner)
+    table = benchmark(lambda: table6(runner))
+    save_and_print(results_dir, "table6", table.format())
+
+    average = dict(zip(table.headers[1:], table.rows[-1][1:]))
+    lu4 = float(average["LU4"])
+    lu8 = float(average["LU8"])
+    la = float(average["LA"])
+    best = float(average["LA+TRS8"])
+
+    assert lu4 > 1.1                       # unrolling helps on average
+    assert lu8 >= lu4 - 0.05
+    assert la > 1.05                       # locality analysis helps
+    # The best combination beats every single optimization.
+    assert best >= max(lu4, la) - 0.05
+    assert best > 1.2
+
+    by_name = {row[0]: row for row in table.rows}
+    ora = by_name["ora"]
+    # ora is insensitive to everything (loop-free hot routine).
+    for value in ora[1:]:
+        assert abs(float(value) - 1.0) < 0.1
+    # tomcatv gains from locality analysis (the paper's LA star).
+    idx = table.headers.index("LA")
+    assert float(by_name["tomcatv"][idx]) > 1.1

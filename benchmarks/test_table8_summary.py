@@ -1,0 +1,39 @@
+"""Table 8: the paper's summary comparison.
+
+Paper reference rows (BSvTS speedup / %ld-intlk decrease / ld% BS / TS):
+no-opt 1.05/51%/7/15, LU4 1.12/61%/6/16, LU8 1.18/62%/6/16,
+TrS+LU4 1.14/65%/5/15, TrS+LU8 1.16/56%/5/15.
+"""
+
+from conftest import save_and_print
+
+from repro.harness import table8
+
+
+def test_table8_summary(benchmark, runner, results_dir):
+    table8(runner)
+    table = benchmark(lambda: table8(runner))
+    save_and_print(results_dir, "table8", table.format())
+
+    rows = {row[0]: row for row in table.rows}
+    base = rows["No optimizations"]
+    lu8 = rows["Loop unrolling by 8"]
+
+    # Balanced beats traditional at every optimization level.
+    for row in table.rows:
+        assert float(row[1]) > 1.0, row[0]
+
+    # Balanced removes a large share of TS's load interlocks everywhere.
+    for row in table.rows:
+        assert float(row[2].rstrip("%")) > 30.0, row[0]
+
+    # Program speedups over unoptimized balanced code grow with the
+    # optimization level.
+    assert float(lu8[3]) > 1.1
+
+    # The headline contrast: balanced load-interlock share well below
+    # traditional's at every level.
+    for row in table.rows:
+        bs = float(row[5].rstrip("%"))
+        ts = float(row[6].rstrip("%"))
+        assert bs < ts, row[0]

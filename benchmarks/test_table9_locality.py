@@ -1,0 +1,29 @@
+"""Table 9: locality-analysis combinations.
+
+Paper reference: LA alone 1.15 over plain balanced scheduling; with
+unrolling 1.28/1.31; with trace scheduling as well 1.29/1.40.
+"""
+
+from conftest import save_and_print
+
+from repro.harness import table9
+
+
+def test_table9_locality_summary(benchmark, runner, results_dir):
+    table9(runner)
+    table = benchmark(lambda: table9(runner))
+    save_and_print(results_dir, "table9", table.format())
+
+    rows = {row[0]: row for row in table.rows}
+    la_alone = float(rows["Locality analysis"][2])
+    best = float(rows["Locality analysis with trace scheduling and loop "
+                      "unrolling by 8"][2])
+
+    # LA alone helps on average (paper: 1.15).
+    assert la_alone > 1.05
+    # Adding unrolling on top of LA helps further.
+    lu4 = float(rows["Locality analysis with loop unrolling by 4"][2])
+    assert lu4 > la_alone
+    # The full stack is the best configuration (paper: 1.40).
+    assert best >= lu4 - 0.05
+    assert best > 1.25

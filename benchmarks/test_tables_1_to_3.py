@@ -1,0 +1,26 @@
+"""Tables 1-3: workload listing and machine parameters (static)."""
+
+from conftest import save_and_print
+
+from repro.harness import table1, table2, table3
+
+
+def test_table1_workload(benchmark, results_dir):
+    table = benchmark(table1)
+    assert len(table.rows) == 17
+    save_and_print(results_dir, "table1", table.format())
+
+
+def test_table2_memory_hierarchy(benchmark, results_dir):
+    table = benchmark(table2)
+    assert any("L1D" in row[0] for row in table.rows)
+    save_and_print(results_dir, "table2", table.format())
+
+
+def test_table3_processor_latencies(benchmark, results_dir):
+    table = benchmark(table3)
+    latencies = dict((row[0], row[1]) for row in table.rows)
+    assert latencies["integer multiply"] == "8"
+    assert latencies["load"] == "2"
+    assert latencies["fp divide (double)"] == "30"
+    save_and_print(results_dir, "table3", table.format())

@@ -1,0 +1,49 @@
+"""Implementation throughput: simulator, scheduler, full compiles.
+
+These are engineering benchmarks of the reproduction itself (not paper
+results): how fast the simulator retires instructions, how scheduling
+scales with DAG size, and the end-to-end compile cost per benchmark.
+"""
+
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+from repro.sched import BalancedWeights, TraditionalWeights, list_schedule
+from repro.workloads import WORKLOADS, random_dag
+
+
+def test_simulator_throughput(benchmark):
+    result = compile_source(WORKLOADS["DYFESM"].source, Options(), "DYFESM")
+
+    def run_once():
+        return Simulator(result.program).run()
+
+    metrics = benchmark(run_once)
+    assert metrics.instructions > 100_000
+
+
+def test_balanced_weight_computation_speed(benchmark):
+    dag = random_dag(300, seed=11, load_fraction=0.35)
+    model = BalancedWeights()
+    weights = benchmark(lambda: model.weights(dag))
+    assert len(weights) == len(dag.instrs)
+
+
+def test_list_scheduler_speed(benchmark):
+    dag = random_dag(300, seed=11, load_fraction=0.35)
+    model = TraditionalWeights()
+    order = benchmark(lambda: list_schedule(dag, model))
+    assert len(order) == len(dag.instrs)
+
+
+def test_full_compile_speed(benchmark):
+    source = WORKLOADS["hydro2d"].source
+    options = Options(scheduler="balanced", unroll=4)
+    result = benchmark(lambda: compile_source(source, options, "hydro2d"))
+    assert len(result.program) > 100
+
+
+def test_trace_compile_speed(benchmark):
+    source = WORKLOADS["MDG"].source
+    options = Options(scheduler="balanced", unroll=4, trace=True)
+    result = benchmark(lambda: compile_source(source, options, "MDG"))
+    assert result.trace_stats is not None

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Paper Figure 2: trace formation and compensation code.
+
+A hot path through a conditional is merged into one trace and
+scheduled as a single block; instructions hoisted above the join are
+copied into a compensation block on the cold path's entering edge.
+
+Run:  python examples/figure2_trace_scheduling.py
+"""
+
+from repro import Options, compile_source, Simulator
+from repro.sched import ProfileData, form_traces
+
+SOURCE = """
+array A[1024] : float;
+array B[1024] : float;
+var n : int = 1024;
+
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) { A[i] = float(i % 61) * 0.5; }
+    for (i = 1; i < n; i = i + 1) {
+        # The guard is almost never taken: blocks 1-2-4-5 of the
+        # paper's figure form the hot trace, block 3 is off-trace.
+        if (i % 128 == 0) {
+            B[i] = 0.0;
+        } else {
+            B[i] = A[i] * 1.5 + A[i - 1] * 0.25;
+        }
+        A[i] = A[i] + B[i] * 0.125;
+    }
+}
+"""
+
+
+def main() -> None:
+    plain = compile_source(SOURCE, Options(scheduler="balanced"))
+    traced = compile_source(SOURCE, Options(scheduler="balanced",
+                                            trace=True))
+
+    print("profiled block frequencies (pre-trace CFG):")
+    profile = traced.profile
+    for label, count in sorted(profile.block_counts.items(),
+                               key=lambda kv: -kv[1])[:6]:
+        print(f"  {label:<12} {count}")
+
+    stats = traced.trace_stats
+    print(f"\ntraces formed: {stats.traces} "
+          f"({stats.multi_block_traces} multi-block, "
+          f"{stats.blocks_merged} blocks merged)")
+    print(f"compensation instructions: {stats.compensation_instructions}")
+    print(f"speculation-safety arcs:   {stats.speculation_arcs}")
+
+    comp_blocks = [b for b in traced.cfg if b.label.startswith(".comp")]
+    if comp_blocks:
+        print("\na compensation block (copies for the off-trace path):")
+        block = comp_blocks[0]
+        print(f"  {block.label}: -> {block.fallthrough}")
+        for instr in block.instrs[:8]:
+            print(f"    {instr.format()}")
+
+    for name, result in (("plain", plain), ("traced", traced)):
+        sim = Simulator(result.program)
+        metrics = sim.run()
+        print(f"\n[{name}] cycles={metrics.total_cycles} "
+              f"instructions={metrics.instructions} "
+              f"load-interlocks={metrics.load_interlock_cycles}")
+
+    # Both versions must compute identical results.
+    sim_a, sim_b = Simulator(plain.program), Simulator(traced.program)
+    sim_a.run()
+    sim_b.run()
+    assert sim_a.get_symbol("B") == sim_b.get_symbol("B")
+    print("\nresults identical on both paths - compensation code is "
+          "doing its job")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Paper Figures 3-5: the locality-analysis loop transformations.
+
+Figure 3 is the original loop (spatial reuse on A[i][j], temporal
+reuse on B[i][0]); Figure 4 shows reuse-driven unrolling with a
+postconditioned remainder; Figure 5 shows peeling for temporal reuse.
+This example runs the analysis on the Figure 3 loop and shows the
+hit/miss marking of every load in the generated code.
+
+Run:  python examples/figures3to5_locality.py
+"""
+
+from repro import Options, compile_source, Simulator
+from repro.analysis import analyze_locality
+from repro.frontend import frontend
+from repro.isa import Locality
+
+# The paper's Figure 3 (row-major layout, 4 elements per 32-byte line).
+FIGURE3 = """
+array A[32][32] : float;
+array B[32][32] : float;
+array C[32][32] : float;
+var n : int = 32;
+
+func main() {
+    var i : int; var j : int;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            C[i][j] = A[i][j] + B[i][0];
+        }
+    }
+}
+"""
+
+
+def main() -> None:
+    program = frontend(FIGURE3)
+    stats = analyze_locality(program)
+    print("locality analysis of the Figure 3 loop:")
+    print(f"  spatial references:  {stats.refs_spatial}   "
+          "(A[i][j]: stride 1 in j)")
+    print(f"  temporal references: {stats.refs_temporal}   "
+          "(B[i][0]: invariant in j)")
+    print(f"  loops peeled:        {stats.loops_peeled}   (Figure 5)")
+    print(f"  loops unrolled:      {stats.loops_unrolled}   (Figure 4, "
+          "factor = 4 elements/line)")
+    print(f"  loads marked miss:   {stats.marked_misses}")
+    print(f"  loads marked hit:    {stats.marked_hits}")
+
+    result = compile_source(FIGURE3, Options(scheduler="balanced",
+                                             locality=True))
+    print("\nloads in the generated program:")
+    counts = {Locality.HIT: 0, Locality.MISS: 0, Locality.UNKNOWN: 0}
+    for instr in result.program.instructions:
+        if instr.is_load and not instr.is_spill:
+            counts[instr.locality] += 1
+    for hint, count in counts.items():
+        print(f"  {hint.value:<8} {count}")
+
+    base = compile_source(FIGURE3, Options(scheduler="balanced"))
+    for name, res in (("balanced", base), ("balanced + locality", result)):
+        sim = Simulator(res.program)
+        metrics = sim.run()
+        print(f"\n[{name}] cycles={metrics.total_cycles} "
+              f"load-interlocks={metrics.load_interlock_cycles} "
+              f"L1D misses={metrics.l1d.misses}")
+
+    sim_a, sim_b = Simulator(base.program), Simulator(result.program)
+    sim_a.run()
+    sim_b.run()
+    assert sim_a.get_symbol("C") == sim_b.get_symbol("C")
+    print("\ntransformed loop computes identical results")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a kernel both ways and compare schedulers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Options, compile_source, Simulator
+
+SOURCE = """
+# Saxpy-like kernel with a stencil flavour: enough independent loads
+# per iteration for balanced scheduling to have something to work with.
+array X[4096] : float;
+array Y[4096] : float;
+array Z[4096] : float;
+var n : int = 4096;
+
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) {
+        X[i] = float(i) * 0.5;
+        Y[i] = float(i) * 0.25 + 1.0;
+    }
+    for (i = 1; i < 4095; i = i + 1) {
+        Z[i] = X[i - 1] * 0.1 + X[i + 1] * 0.2 + Y[i] * X[i] + Y[i - 1];
+    }
+}
+"""
+
+
+def run(options: Options):
+    result = compile_source(SOURCE, options)
+    sim = Simulator(result.program)
+    metrics = sim.run()
+    return result, metrics
+
+
+def main() -> None:
+    print("compiling the kernel under four configurations...\n")
+    header = (f"{'configuration':<24}{'cycles':>10}{'instrs':>10}"
+              f"{'ld-intlk':>10}{'ld-intlk %':>12}")
+    print(header)
+    print("-" * len(header))
+    for options in (
+        Options(scheduler="traditional"),
+        Options(scheduler="balanced"),
+        Options(scheduler="traditional", unroll=4),
+        Options(scheduler="balanced", unroll=4),
+    ):
+        _, metrics = run(options)
+        print(f"{options.label():<24}{metrics.total_cycles:>10}"
+              f"{metrics.instructions:>10}"
+              f"{metrics.load_interlock_cycles:>10}"
+              f"{100 * metrics.load_interlock_fraction:>11.1f}%")
+
+    print("\nBalanced scheduling hides load latency that the traditional")
+    print("scheduler's optimistic cache-hit assumption leaves exposed;")
+    print("loop unrolling widens the gap by providing more independent")
+    print("instructions to place behind the loads (paper sections 2-3).")
+
+    # Show a snippet of the two schedules for the same block.
+    result_ts, _ = run(Options(scheduler="traditional"))
+    result_bs, _ = run(Options(scheduler="balanced"))
+    print("\nfirst instructions of the hot loop, traditional vs balanced:")
+    for name, result in (("traditional", result_ts),
+                         ("balanced", result_bs)):
+        hot = max(result.cfg, key=lambda b: len(b.instrs))
+        print(f"\n  [{name}] block {hot.label}:")
+        for instr in hot.instrs[:10]:
+            print(f"    {instr.format()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Sweep the drivers of balanced scheduling's advantage.
+
+Uses the parametric kernel generator to vary load-level parallelism
+and working-set size, printing the BS-over-TS speedup for each point —
+the paper's thesis ("balanced scheduling should perform even better
+when more parallelism is available") as a curve.
+
+Run:  python examples/sensitivity_sweep.py
+"""
+
+from repro import Options, compile_source, Simulator
+from repro.workloads import KernelSpec, generate_kernel
+
+
+def bs_vs_ts(spec: KernelSpec) -> float:
+    source = generate_kernel(spec)
+    cycles = {}
+    for scheduler in ("balanced", "traditional"):
+        result = compile_source(source, Options(scheduler=scheduler))
+        cycles[scheduler] = Simulator(result.program).run().total_cycles
+    return cycles["traditional"] / cycles["balanced"]
+
+
+def bar(value: float, scale: float = 40.0) -> str:
+    return "#" * int((value - 1.0) * scale + 0.5)
+
+
+def main() -> None:
+    print("BS-over-TS speedup vs load-level parallelism "
+          "(96 KB working set):\n")
+    for loads in (1, 2, 3, 4, 6):
+        spec = KernelSpec(loads_per_iteration=loads, flops_per_load=1,
+                          array_kb=96)
+        ratio = bs_vs_ts(spec)
+        print(f"  {loads} loads/iter  {ratio:5.2f}  {bar(ratio)}")
+
+    print("\nBS-over-TS speedup vs working-set size (4 loads/iter):\n")
+    for kb in (4, 16, 64, 192):
+        spec = KernelSpec(loads_per_iteration=4, flops_per_load=1,
+                          array_kb=kb)
+        ratio = bs_vs_ts(spec)
+        print(f"  {kb:4d} KB        {ratio:5.2f}  {bar(ratio)}")
+
+    print("\nWith the data resident in the 8 KB L1 there is no latency")
+    print("to hide and the schedulers tie; once loads miss, the")
+    print("advantage tracks the parallelism available to hide them —")
+    print("the paper's sections 2 and 5 in one picture.")
+
+
+if __name__ == "__main__":
+    main()

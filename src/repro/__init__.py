@@ -1,0 +1,51 @@
+"""repro: reproduction of Lo & Eggers (PLDI 1995).
+
+*Improving Balanced Scheduling with Compiler Optimizations that
+Increase Instruction-Level Parallelism.*
+
+The package contains a complete, from-scratch implementation of the
+paper's system: a Multiflow-style optimizing compiler for a small loop
+language (frontend, loop unrolling, trace scheduling, locality
+analysis, predication, classic cleanups, register allocation), the
+balanced and traditional instruction schedulers, an execution-driven
+simulator of a single-issue non-blocking Alpha-21164-like machine, the
+17-benchmark synthetic workload, and a harness that regenerates every
+table in the paper's evaluation.
+
+Quick start::
+
+    from repro import compile_and_run, Options
+
+    source = '''
+    array A[64] : float;
+    var n : int = 64;
+    func main() {
+        var i : int;
+        for (i = 0; i < n; i = i + 1) { A[i] = float(i) * 0.5; }
+    }
+    '''
+    result, metrics = compile_and_run(source, Options(scheduler="balanced"))
+    print(metrics.summary())
+"""
+
+from .harness.compile import (
+    CompileResult,
+    Options,
+    compile_and_run,
+    compile_source,
+    run_compiled,
+)
+from .harness.experiment import CONFIGS, ExperimentRunner, RunResult
+from .machine import DEFAULT_CONFIG, MachineConfig, Metrics, Simulator
+from .sched import BalancedWeights, TraditionalWeights
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileResult", "Options", "compile_and_run", "compile_source",
+    "run_compiled",
+    "CONFIGS", "ExperimentRunner", "RunResult",
+    "DEFAULT_CONFIG", "MachineConfig", "Metrics", "Simulator",
+    "BalancedWeights", "TraditionalWeights",
+    "__version__",
+]

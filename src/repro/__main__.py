@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE``   — compile a mini-language source file and print
+  the final machine-code listing (``--cfg`` for the block-level view);
+* ``run FILE``       — compile, simulate, and print the metrics;
+* ``bench [NAMES]``  — run workload benchmarks under the full grid;
+* ``tables [N ...]`` — regenerate the paper's tables;
+* ``report``         — paper-vs-measured markdown report;
+* ``workloads``      — list the 17 benchmarks.
+
+Common compiler flags: ``--scheduler {balanced,traditional,none}``,
+``--unroll {0,4,8}``, ``--trace``, ``--locality``, ``--issue-width N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from .harness import (
+    ALL_TABLES,
+    CONFIGS,
+    ExperimentRunner,
+    Options,
+    compile_source,
+)
+from .machine import DEFAULT_CONFIG, Simulator
+from .workloads import WORKLOAD_ORDER, WORKLOADS
+
+
+def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheduler", default="balanced",
+                        choices=("balanced", "traditional", "none"))
+    parser.add_argument("--unroll", type=int, default=0,
+                        choices=(0, 4, 8))
+    parser.add_argument("--trace", action="store_true")
+    parser.add_argument("--locality", action="store_true")
+    parser.add_argument("--issue-width", type=int, default=1)
+
+
+def _options(args: argparse.Namespace) -> Options:
+    config = DEFAULT_CONFIG
+    if args.issue_width != 1:
+        config = replace(config, issue_width=args.issue_width)
+    return Options(scheduler=args.scheduler, unroll=args.unroll,
+                   trace=args.trace, locality=args.locality,
+                   config=config)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    result = compile_source(source, _options(args), Path(args.file).stem)
+    if args.cfg:
+        print(result.cfg.format())
+    else:
+        print(result.program.format())
+    print(f"\n; {len(result.program)} instructions, "
+          f"{len(result.cfg)} blocks, "
+          f"{result.allocation.n_slots} spill slots",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    result = compile_source(source, _options(args), Path(args.file).stem)
+    sim = Simulator(result.program, config=result.options.config)
+    metrics = sim.run()
+    print(metrics.summary())
+    if args.dump:
+        for name in args.dump:
+            print(f"{name} = {sim.get_symbol(name)}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(verbose=True)
+    names = args.names or list(WORKLOAD_ORDER)
+    configs = args.configs or ["base", "lu4", "lu8"]
+    header = (f"{'benchmark':<11}{'config':<9}{'scheduler':<12}"
+              f"{'cycles':>10}{'instrs':>10}{'ld-intlk%':>10}")
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        for config in configs:
+            for scheduler in ("balanced", "traditional"):
+                result = runner.run(name, scheduler, config)
+                print(f"{name:<11}{config:<9}{scheduler:<12}"
+                      f"{result.total_cycles:>10}"
+                      f"{result.instructions:>10}"
+                      f"{100 * result.load_interlock_fraction:>9.1f}%")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(verbose=True)
+    numbers = args.numbers or sorted(ALL_TABLES)
+    for number in numbers:
+        fn = ALL_TABLES[number]
+        table = fn() if number <= 3 else fn(runner)
+        print()
+        print(table.format())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .harness.report import build_report, write_report
+
+    runner = ExperimentRunner(verbose=True)
+    if args.output:
+        text = write_report(args.output, runner)
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        text = build_report(runner)
+    print(text)
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    for name in WORKLOAD_ORDER:
+        workload = WORKLOADS[name]
+        print(f"{workload.name:<10} ({workload.language}) "
+              f"{workload.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Balanced-scheduling reproduction (Lo & Eggers, "
+                    "PLDI 1995)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile and show code")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--cfg", action="store_true",
+                           help="print the CFG instead of linear code")
+    _add_compiler_flags(p_compile)
+    p_compile.set_defaults(fn=cmd_compile)
+
+    p_run = sub.add_parser("run", help="compile and simulate")
+    p_run.add_argument("file")
+    p_run.add_argument("--dump", nargs="*", metavar="SYMBOL",
+                       help="print these data symbols after the run")
+    _add_compiler_flags(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_bench = sub.add_parser("bench", help="run workload benchmarks")
+    p_bench.add_argument("names", nargs="*",
+                         help="benchmark names (default: all)")
+    p_bench.add_argument("--configs", nargs="*", choices=list(CONFIGS),
+                         help="grid configs (default: base lu4 lu8)")
+    p_bench.set_defaults(fn=cmd_bench)
+
+    p_tables = sub.add_parser("tables", help="regenerate paper tables")
+    p_tables.add_argument("numbers", nargs="*", type=int,
+                          choices=sorted(ALL_TABLES))
+    p_tables.set_defaults(fn=cmd_tables)
+
+    p_report = sub.add_parser("report",
+                              help="paper-vs-measured markdown report")
+    p_report.add_argument("--output", "-o", default=None)
+    p_report.set_defaults(fn=cmd_report)
+
+    p_work = sub.add_parser("workloads", help="list the workload")
+    p_work.set_defaults(fn=cmd_workloads)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

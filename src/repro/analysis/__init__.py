@@ -1,0 +1,9 @@
+"""Program analyses: affine subscripts and cache locality."""
+
+from .affine import AffineForm, affine_of, flatten_subscript
+from .locality import LocalityAnalyzer, LocalityStats, analyze_locality
+
+__all__ = [
+    "AffineForm", "affine_of", "flatten_subscript",
+    "LocalityAnalyzer", "LocalityStats", "analyze_locality",
+]

@@ -1,0 +1,125 @@
+"""Affine analysis of AST index expressions.
+
+Locality analysis (and the loop transformations' legality checks) need
+array subscripts expressed as affine functions of scalar variables:
+``index = sum(coeff_v * v) + const``.  Anything else — products of two
+variables, divisions, calls — is *not affine* and the reference is
+excluded from reuse analysis, exactly the paper's "index expressions
+that introduce irregularity" limitation (section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend import ast
+
+
+@dataclass(frozen=True)
+class AffineForm:
+    """``sum(coeffs[v] * v) + const`` with integer coefficients."""
+
+    coeffs: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def constant(value: int) -> "AffineForm":
+        return AffineForm((), value)
+
+    @staticmethod
+    def variable(name: str) -> "AffineForm":
+        return AffineForm(((name, 1),), 0)
+
+    def coeff_map(self) -> dict[str, int]:
+        return dict(self.coeffs)
+
+    def coeff(self, name: str) -> int:
+        return self.coeff_map().get(name, 0)
+
+    def add(self, other: "AffineForm", sign: int = 1) -> "AffineForm":
+        coeffs = self.coeff_map()
+        for name, c in other.coeffs:
+            coeffs[name] = coeffs.get(name, 0) + sign * c
+        return AffineForm(
+            tuple(sorted((n, c) for n, c in coeffs.items() if c != 0)),
+            self.const + sign * other.const)
+
+    def scale(self, factor: int) -> "AffineForm":
+        if factor == 0:
+            return AffineForm.constant(0)
+        return AffineForm(
+            tuple(sorted((n, c * factor) for n, c in self.coeffs)),
+            self.const * factor)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def free_vars(self) -> set[str]:
+        return {name for name, _ in self.coeffs}
+
+    def __str__(self) -> str:
+        parts = [f"{c}*{n}" for n, c in self.coeffs]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def affine_of(expr: ast.Expr) -> Optional[AffineForm]:
+    """The affine form of an integer AST expression, or None."""
+    if isinstance(expr, ast.IntLit):
+        return AffineForm.constant(expr.value)
+    if isinstance(expr, ast.Name):
+        return AffineForm.variable(expr.ident)
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        inner = affine_of(expr.operand)
+        return inner.scale(-1) if inner is not None else None
+    if isinstance(expr, ast.BinOp):
+        if expr.op in ("+", "-"):
+            left = affine_of(expr.left)
+            right = affine_of(expr.right)
+            if left is None or right is None:
+                return None
+            return left.add(right, 1 if expr.op == "+" else -1)
+        if expr.op == "*":
+            left = affine_of(expr.left)
+            right = affine_of(expr.right)
+            if left is None or right is None:
+                return None
+            if left.is_constant:
+                return right.scale(left.const)
+            if right.is_constant:
+                return left.scale(right.const)
+            return None
+    return None
+
+
+@dataclass
+class ArrayAccess:
+    """One array reference with its flattened affine subscript.
+
+    ``flat`` is the affine form of the *element* index after row-major
+    flattening (so spatial stride analysis is in elements).
+    """
+
+    ref: ast.ArrayIndex
+    array: ast.ArrayDecl
+    flat: AffineForm
+    is_store: bool = False
+    enclosing: list[str] = field(default_factory=list)  # induction vars,
+    # outermost first
+
+
+def flatten_subscript(ref: ast.ArrayIndex,
+                      decl: ast.ArrayDecl) -> Optional[AffineForm]:
+    """Row-major flat element index of a (possibly multi-dim) reference."""
+    total: Optional[AffineForm] = AffineForm.constant(0)
+    for dim_index, index_expr in enumerate(ref.indices):
+        form = affine_of(index_expr)
+        if form is None:
+            return None
+        stride = 1
+        for d in decl.dims[dim_index + 1:]:
+            stride *= d
+        total = total.add(form.scale(stride))
+    return total

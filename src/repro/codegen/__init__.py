@@ -1,0 +1,10 @@
+"""Code generation: lowering, register allocation, emission."""
+
+from .lower import Lowerer, lower
+from .regalloc import AllocationResult, allocate_registers
+from .verify import VerificationError, check_program, verify_program
+
+__all__ = [
+    "Lowerer", "lower", "AllocationResult", "allocate_registers",
+    "VerificationError", "check_program", "verify_program",
+]

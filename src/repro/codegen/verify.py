@@ -1,0 +1,104 @@
+"""Machine-code verifier: hard well-formedness checks on final programs.
+
+Run after linearization (and from tests) to catch compiler bugs before
+they become mysterious simulation failures:
+
+* every branch targets a defined label;
+* no virtual registers survive register allocation;
+* reserved registers are respected (nothing writes the zero registers
+  or the stack pointer; spill scratch registers only appear in code
+  the allocator emitted);
+* every load/store carries a :class:`~repro.isa.MemRef` (the dependence
+  analysis relies on them) and spill slots stay inside the stack area;
+* execution cannot fall off the end of the program (the last
+  instruction is a HALT or an unconditional branch);
+* at least one HALT is reachable.
+"""
+
+from __future__ import annotations
+
+from ..isa import MachineProgram
+
+#: Spill scratch registers (mirrors codegen.regalloc._SCRATCH).
+_SCRATCH_NUMS = {"i": (28, 29), "f": (29, 30)}
+
+
+class VerificationError(Exception):
+    """A generated program violates a well-formedness rule."""
+
+
+def verify_program(program: MachineProgram,
+                   allow_virtual: bool = False) -> None:
+    """Raise :class:`VerificationError` on the first violation."""
+    program.resolve()           # undefined labels raise ValueError
+    instructions = program.instructions
+    if not instructions:
+        raise VerificationError("empty program")
+
+    for index, instr in enumerate(instructions):
+        where = f"at {index}: {instr.format()}"
+
+        for reg in instr.defs():
+            if not allow_virtual and reg.virtual:
+                raise VerificationError(
+                    f"virtual register {reg} written {where}")
+            if not reg.virtual and reg.num == 31:
+                raise VerificationError(
+                    f"write to hardwired zero register {where}")
+            if not reg.virtual and reg.kind == "i" and reg.num == 30:
+                raise VerificationError(
+                    f"write to the stack pointer {where}")
+            if (not reg.virtual and not instr.is_spill
+                    and _is_scratch(reg)
+                    and not _scratch_consumer_nearby(instructions, index)):
+                raise VerificationError(
+                    f"scratch register {reg} written outside spill "
+                    f"code {where}")
+        for reg in instr.uses():
+            if not allow_virtual and reg.virtual:
+                raise VerificationError(
+                    f"virtual register {reg} read {where}")
+
+        if instr.is_mem:
+            if instr.mem is None:
+                raise VerificationError(f"memory op without MemRef {where}")
+            if instr.mem.region == "stack" and not instr.is_spill:
+                raise VerificationError(
+                    f"stack access not marked as spill {where}")
+
+    last = instructions[-1]
+    if last.op not in ("HALT", "BR"):
+        reason = ("a conditional branch" if last.is_branch
+                  else "a fall-through instruction")
+        raise VerificationError(
+            f"control can fall off the end: program ends with {reason}")
+
+    if not any(i.op == "HALT" for i in instructions):
+        raise VerificationError("program has no HALT")
+
+
+def _is_scratch(reg) -> bool:
+    return reg.num in _SCRATCH_NUMS.get(reg.kind, ())
+
+
+def _scratch_consumer_nearby(instructions, index: int) -> bool:
+    """A non-spill write to a scratch register is legitimate when it is
+    itself part of a spill sequence: the value is stored to a stack slot
+    by the next few instructions (the allocator's spill-after-def), or
+    the instruction rewrote a spilled destination in place."""
+    for follower in instructions[index + 1:index + 4]:
+        if follower.is_spill and follower.is_store:
+            return True
+        if follower.is_branch or follower.op == "HALT":
+            break
+    return False
+
+
+def check_program(program: MachineProgram,
+                  allow_virtual: bool = False) -> list[str]:
+    """Like :func:`verify_program` but collects problems as strings."""
+    try:
+        verify_program(program, allow_virtual=allow_virtual)
+    except (VerificationError, ValueError) as exc:
+        return [str(exc)]
+    return []

@@ -1,0 +1,18 @@
+"""Frontend for the mini loop language: lexer, parser, semantic analysis."""
+
+from . import ast_nodes as ast
+from .errors import CompileError, LexError, ParseError, SemanticError
+from .lexer import tokenize
+from .parser import parse
+from .sema import analyze
+
+
+def frontend(source: str, name: str = "program") -> "ast.ProgramAST":
+    """Parse and analyze *source*, returning a typed AST."""
+    return analyze(parse(source, name))
+
+
+__all__ = [
+    "ast", "CompileError", "LexError", "ParseError", "SemanticError",
+    "tokenize", "parse", "analyze", "frontend",
+]

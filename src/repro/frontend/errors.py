@@ -1,0 +1,45 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+
+class SourceLocation:
+    """Line/column position in a source file, for diagnostics."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, SourceLocation)
+                and (self.line, self.column) == (other.line, other.column))
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+class CompileError(Exception):
+    """Any error raised while compiling a source program."""
+
+    def __init__(self, message: str, loc: SourceLocation | None = None) -> None:
+        self.loc = loc
+        if loc is not None:
+            message = f"{loc}: {message}"
+        super().__init__(message)
+
+
+class LexError(CompileError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(CompileError):
+    """Syntax error."""
+
+
+class SemanticError(CompileError):
+    """Type error, undefined name, arity mismatch, recursion, ..."""

@@ -1,0 +1,331 @@
+"""Recursive-descent parser for the mini loop language.
+
+Grammar (EBNF):
+
+.. code-block:: text
+
+    program    := { array_decl | var_decl | func_decl }
+    array_decl := "array" IDENT ( "[" INTLIT "]" )+ ":" type ";"
+    var_decl   := "var" IDENT ":" type [ "=" expr ] ";"
+    func_decl  := "func" IDENT "(" [ param { "," param } ] ")"
+                  [ ":" type ] block
+    param      := IDENT ":" type
+    type       := "int" | "float"
+    block      := "{" { stmt } "}"
+    stmt       := var_decl | if | while | for | return | block
+                | assign ";" | call ";"
+    if         := "if" "(" expr ")" block [ "else" ( block | if ) ]
+    while      := "while" "(" expr ")" block
+    for        := "for" "(" assign ";" expr ";" assign ")" block
+    return     := "return" [ expr ] ";"
+    assign     := lvalue "=" expr
+    lvalue     := IDENT { "[" expr "]" }
+
+Expression precedence (loosest first): ``||``, ``&&``, comparisons,
+additive, multiplicative, unary, primary.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import EOF_KIND, Token
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ---------------------------------------------------------- utilities
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != EOF_KIND:
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str) -> bool:
+        return self._cur.kind == kind
+
+    def _accept(self, kind: str) -> Token | None:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str) -> Token:
+        if not self._check(kind):
+            raise ParseError(
+                f"expected {kind!r}, found {self._cur.text!r}", self._cur.loc)
+        return self._advance()
+
+    # -------------------------------------------------------- declarations
+    def parse_program(self, name: str = "program") -> ast.ProgramAST:
+        program = ast.ProgramAST(name=name)
+        while not self._check(EOF_KIND):
+            if self._check("array"):
+                program.arrays.append(self._array_decl())
+            elif self._check("var"):
+                program.globals.append(self._var_decl())
+            elif self._check("func"):
+                program.functions.append(self._func_decl())
+            else:
+                raise ParseError(
+                    f"expected declaration, found {self._cur.text!r}",
+                    self._cur.loc)
+        return program
+
+    def _type(self) -> str:
+        if self._accept("int"):
+            return ast.INT
+        if self._accept("float"):
+            return ast.FLOAT
+        raise ParseError(
+            f"expected type, found {self._cur.text!r}", self._cur.loc)
+
+    def _array_decl(self) -> ast.ArrayDecl:
+        loc = self._expect("array").loc
+        name = self._expect("ident").text
+        dims: list[int] = []
+        while self._accept("["):
+            dim = self._expect("intlit")
+            if dim.value <= 0:
+                raise ParseError("array dimension must be positive", dim.loc)
+            dims.append(dim.value)
+            self._expect("]")
+        if not dims:
+            raise ParseError("array needs at least one dimension", loc)
+        self._expect(":")
+        elem_type = self._type()
+        self._expect(";")
+        return ast.ArrayDecl(name=name, dims=tuple(dims), type=elem_type,
+                             loc=loc)
+
+    def _var_decl(self) -> ast.VarDecl:
+        loc = self._expect("var").loc
+        name = self._expect("ident").text
+        self._expect(":")
+        var_type = self._type()
+        init = None
+        if self._accept("="):
+            init = self._expr()
+        self._expect(";")
+        return ast.VarDecl(name=name, type=var_type, init=init, loc=loc)
+
+    def _func_decl(self) -> ast.FuncDecl:
+        loc = self._expect("func").loc
+        name = self._expect("ident").text
+        self._expect("(")
+        params: list[ast.Param] = []
+        if not self._check(")"):
+            while True:
+                pname = self._expect("ident")
+                self._expect(":")
+                params.append(ast.Param(pname.text, self._type(), pname.loc))
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        return_type = self._type() if self._accept(":") else None
+        body = self._block()
+        return ast.FuncDecl(name=name, params=params,
+                            return_type=return_type, body=body, loc=loc)
+
+    # ---------------------------------------------------------- statements
+    def _block(self) -> ast.Block:
+        loc = self._expect("{").loc
+        statements: list[ast.Stmt] = []
+        while not self._check("}"):
+            statements.append(self._stmt())
+        self._expect("}")
+        return ast.Block(statements=statements, loc=loc)
+
+    def _stmt(self) -> ast.Stmt:
+        if self._check("var"):
+            return self._var_decl()
+        if self._check("if"):
+            return self._if_stmt()
+        if self._check("while"):
+            return self._while_stmt()
+        if self._check("for"):
+            return self._for_stmt()
+        if self._check("return"):
+            return self._return_stmt()
+        if self._check("{"):
+            return self._block()
+        stmt = self._assign_or_call()
+        self._expect(";")
+        return stmt
+
+    def _assign_or_call(self) -> ast.Stmt:
+        loc = self._cur.loc
+        name = self._expect("ident")
+        if self._check("("):
+            call = self._finish_call(name)
+            return ast.ExprStmt(expr=call, loc=loc)
+        target: ast.Name | ast.ArrayIndex
+        if self._check("["):
+            indices: list[ast.Expr] = []
+            while self._accept("["):
+                indices.append(self._expr())
+                self._expect("]")
+            target = ast.ArrayIndex(array=name.text, indices=indices,
+                                    loc=name.loc)
+        else:
+            target = ast.Name(ident=name.text, loc=name.loc)
+        self._expect("=")
+        value = self._expr()
+        return ast.Assign(target=target, value=value, loc=loc)
+
+    def _if_stmt(self) -> ast.If:
+        loc = self._expect("if").loc
+        self._expect("(")
+        cond = self._expr()
+        self._expect(")")
+        then_body = self._block()
+        else_body = None
+        if self._accept("else"):
+            if self._check("if"):
+                nested = self._if_stmt()
+                else_body = ast.Block(statements=[nested], loc=nested.loc)
+            else:
+                else_body = self._block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body,
+                      loc=loc)
+
+    def _while_stmt(self) -> ast.While:
+        loc = self._expect("while").loc
+        self._expect("(")
+        cond = self._expr()
+        self._expect(")")
+        return ast.While(cond=cond, body=self._block(), loc=loc)
+
+    def _for_stmt(self) -> ast.For:
+        loc = self._expect("for").loc
+        self._expect("(")
+        init = self._assign_only()
+        self._expect(";")
+        cond = self._expr()
+        self._expect(";")
+        step = self._assign_only()
+        self._expect(")")
+        return ast.For(init=init, cond=cond, step=step, body=self._block(),
+                       loc=loc)
+
+    def _assign_only(self) -> ast.Assign:
+        stmt = self._assign_or_call()
+        if not isinstance(stmt, ast.Assign):
+            raise ParseError("expected an assignment", stmt.loc)
+        return stmt
+
+    def _return_stmt(self) -> ast.Return:
+        loc = self._expect("return").loc
+        value = None if self._check(";") else self._expr()
+        self._expect(";")
+        return ast.Return(value=value, loc=loc)
+
+    # --------------------------------------------------------- expressions
+    def _expr(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._check("||"):
+            loc = self._advance().loc
+            right = self._and_expr()
+            left = ast.BinOp(op="||", left=left, right=right, loc=loc)
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._cmp_expr()
+        while self._check("&&"):
+            loc = self._advance().loc
+            right = self._cmp_expr()
+            left = ast.BinOp(op="&&", left=left, right=right, loc=loc)
+        return left
+
+    def _cmp_expr(self) -> ast.Expr:
+        left = self._add_expr()
+        if self._cur.kind in _CMP_OPS:
+            op = self._advance()
+            right = self._add_expr()
+            left = ast.BinOp(op=op.kind, left=left, right=right, loc=op.loc)
+        return left
+
+    def _add_expr(self) -> ast.Expr:
+        left = self._mul_expr()
+        while self._cur.kind in ("+", "-"):
+            op = self._advance()
+            right = self._mul_expr()
+            left = ast.BinOp(op=op.kind, left=left, right=right, loc=op.loc)
+        return left
+
+    def _mul_expr(self) -> ast.Expr:
+        left = self._unary_expr()
+        while self._cur.kind in ("*", "/", "%"):
+            op = self._advance()
+            right = self._unary_expr()
+            left = ast.BinOp(op=op.kind, left=left, right=right, loc=op.loc)
+        return left
+
+    def _unary_expr(self) -> ast.Expr:
+        if self._cur.kind in ("-", "!"):
+            op = self._advance()
+            operand = self._unary_expr()
+            return ast.UnaryOp(op=op.kind, operand=operand, loc=op.loc)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind == "intlit":
+            self._advance()
+            return ast.IntLit(value=tok.value, loc=tok.loc)
+        if tok.kind == "floatlit":
+            self._advance()
+            return ast.FloatLit(value=tok.value, loc=tok.loc)
+        if tok.kind in ("int", "float"):
+            self._advance()
+            self._expect("(")
+            operand = self._expr()
+            self._expect(")")
+            target = ast.INT if tok.kind == "int" else ast.FLOAT
+            return ast.Cast(target=target, operand=operand, loc=tok.loc)
+        if tok.kind == "(":
+            self._advance()
+            expr = self._expr()
+            self._expect(")")
+            return expr
+        if tok.kind == "ident":
+            name = self._advance()
+            if self._check("("):
+                return self._finish_call(name)
+            if self._check("["):
+                indices: list[ast.Expr] = []
+                while self._accept("["):
+                    indices.append(self._expr())
+                    self._expect("]")
+                return ast.ArrayIndex(array=name.text, indices=indices,
+                                      loc=name.loc)
+            return ast.Name(ident=name.text, loc=name.loc)
+        raise ParseError(f"unexpected token {tok.text!r}", tok.loc)
+
+    def _finish_call(self, name: Token) -> ast.Call:
+        self._expect("(")
+        args: list[ast.Expr] = []
+        if not self._check(")"):
+            while True:
+                args.append(self._expr())
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        return ast.Call(func=name.text, args=args, loc=name.loc)
+
+
+def parse(source: str, name: str = "program") -> ast.ProgramAST:
+    """Parse *source* into an (un-analyzed) program AST."""
+    return Parser(tokenize(source)).parse_program(name)

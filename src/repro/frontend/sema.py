@@ -1,0 +1,297 @@
+"""Semantic analysis: name resolution, type checking, inlining rules.
+
+Beyond the usual checks, two deliberate restrictions keep the rest of
+the pipeline simple (both enforced here with clear diagnostics):
+
+* ``return`` may only appear as the *last* statement of a function
+  body, which makes call inlining (the lowering strategy for calls,
+  see :mod:`repro.codegen.lower`) a pure statement splice;
+* recursion is rejected, because every call is inlined.
+
+Implicit ``int`` -> ``float`` conversions are materialized as
+:class:`~repro.frontend.ast_nodes.Cast` nodes so that lowering never
+needs to re-derive them; ``float`` -> ``int`` must be written
+explicitly as ``int(e)``.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .errors import SemanticError
+
+_ARITH_OPS = frozenset("+-*/")
+_CMP_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+_LOGIC_OPS = frozenset({"&&", "||"})
+
+
+class Analyzer:
+    """Single-pass semantic analyzer; mutates the AST in place."""
+
+    def __init__(self, program: ast.ProgramAST) -> None:
+        self.program = program
+        self.arrays: dict[str, ast.ArrayDecl] = {}
+        self.globals: dict[str, ast.VarDecl] = {}
+        self.functions: dict[str, ast.FuncDecl] = {}
+        self._scope: dict[str, str] = {}      # name -> type, current function
+        self._current: ast.FuncDecl | None = None
+        self._calls: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------- driver
+    def analyze(self) -> ast.ProgramAST:
+        for array in self.program.arrays:
+            self._declare_top(array.name, array.loc)
+            self.arrays[array.name] = array
+        for decl in self.program.globals:
+            self._declare_top(decl.name, decl.loc)
+            if decl.init is not None:
+                decl.init = self._coerce(self._expr(decl.init), decl.type,
+                                         decl.loc)
+            self.globals[decl.name] = decl
+        for func in self.program.functions:
+            self._declare_top(func.name, func.loc)
+            self.functions[func.name] = func
+        if "main" not in self.functions:
+            raise SemanticError("program has no 'main' function")
+        main = self.functions["main"]
+        if main.params or main.return_type is not None:
+            raise SemanticError("'main' must take no parameters and return "
+                                "nothing", main.loc)
+        for func in self.program.functions:
+            self._check_function(func)
+        self._check_recursion()
+        return self.program
+
+    def _declare_top(self, name: str, loc) -> None:
+        if name in self.arrays or name in self.globals or name in self.functions:
+            raise SemanticError(f"redeclaration of {name!r}", loc)
+
+    # ---------------------------------------------------------- functions
+    def _check_function(self, func: ast.FuncDecl) -> None:
+        self._current = func
+        self._calls[func.name] = set()
+        self._scope = {}
+        func.locals = []
+        for param in func.params:
+            if param.name in self._scope:
+                raise SemanticError(f"duplicate parameter {param.name!r}",
+                                    param.loc)
+            self._scope[param.name] = param.type
+        self._check_block(func.body, top_level=True)
+        if func.return_type is not None:
+            stmts = func.body.statements
+            if not stmts or not isinstance(stmts[-1], ast.Return):
+                raise SemanticError(
+                    f"function {func.name!r} must end with a return",
+                    func.loc)
+        self._current = None
+
+    def _check_block(self, block: ast.Block, top_level: bool = False) -> None:
+        for index, stmt in enumerate(block.statements):
+            is_last = top_level and index == len(block.statements) - 1
+            if isinstance(stmt, ast.Return) and not is_last:
+                raise SemanticError(
+                    "'return' is only allowed as the last statement of a "
+                    "function body", stmt.loc)
+            self._check_stmt(stmt)
+
+    # ---------------------------------------------------------- statements
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if (stmt.name in self._scope or stmt.name in self.arrays
+                    or stmt.name in self.globals
+                    or stmt.name in self.functions):
+                raise SemanticError(f"redeclaration of {stmt.name!r}",
+                                    stmt.loc)
+            if stmt.init is not None:
+                stmt.init = self._coerce(self._expr(stmt.init), stmt.type,
+                                         stmt.loc)
+            self._scope[stmt.name] = stmt.type
+            self._current.locals.append(stmt)
+        elif isinstance(stmt, ast.Assign):
+            target_type = self._lvalue(stmt.target)
+            stmt.value = self._coerce(self._expr(stmt.value), target_type,
+                                      stmt.loc)
+        elif isinstance(stmt, ast.If):
+            stmt.cond = self._condition(stmt.cond)
+            self._check_block(stmt.then_body)
+            if stmt.else_body is not None:
+                self._check_block(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            stmt.cond = self._condition(stmt.cond)
+            self._check_block(stmt.body)
+        elif isinstance(stmt, ast.For):
+            self._check_stmt(stmt.init)
+            stmt.cond = self._condition(stmt.cond)
+            self._check_stmt(stmt.step)
+            self._check_block(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            func = self._current
+            if func.return_type is None:
+                if stmt.value is not None:
+                    raise SemanticError(
+                        f"function {func.name!r} returns nothing", stmt.loc)
+            else:
+                if stmt.value is None:
+                    raise SemanticError(
+                        f"function {func.name!r} must return a value",
+                        stmt.loc)
+                stmt.value = self._coerce(self._expr(stmt.value),
+                                          func.return_type, stmt.loc)
+        elif isinstance(stmt, ast.ExprStmt):
+            if not isinstance(stmt.expr, ast.Call):
+                raise SemanticError("expression statements must be calls",
+                                    stmt.loc)
+            self._expr(stmt.expr, allow_void=True)
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt)
+        else:
+            raise SemanticError(f"unknown statement {type(stmt).__name__}",
+                                stmt.loc)
+
+    def _lvalue(self, target: ast.Expr) -> str:
+        if isinstance(target, ast.Name):
+            var_type = self._lookup_scalar(target.ident, target.loc)
+            target.type = var_type
+            return var_type
+        if isinstance(target, ast.ArrayIndex):
+            return self._array_index(target)
+        raise SemanticError("invalid assignment target", target.loc)
+
+    # --------------------------------------------------------- expressions
+    def _condition(self, expr: ast.Expr) -> ast.Expr:
+        expr = self._expr(expr)
+        if expr.type != ast.INT:
+            raise SemanticError("condition must be an int expression",
+                                expr.loc)
+        return expr
+
+    def _coerce(self, expr: ast.Expr, target: str, loc) -> ast.Expr:
+        if expr.type == target:
+            return expr
+        if expr.type == ast.INT and target == ast.FLOAT:
+            cast = ast.Cast(target=ast.FLOAT, operand=expr, loc=expr.loc)
+            cast.type = ast.FLOAT
+            return cast
+        raise SemanticError(
+            f"cannot implicitly convert {expr.type} to {target} "
+            "(use an explicit int(...) cast)", loc)
+
+    def _lookup_scalar(self, name: str, loc) -> str:
+        if name in self._scope:
+            return self._scope[name]
+        if name in self.globals:
+            return self.globals[name].type
+        if name in self.arrays:
+            raise SemanticError(f"{name!r} is an array, not a scalar", loc)
+        raise SemanticError(f"undefined variable {name!r}", loc)
+
+    def _array_index(self, expr: ast.ArrayIndex) -> str:
+        array = self.arrays.get(expr.array)
+        if array is None:
+            raise SemanticError(f"undefined array {expr.array!r}", expr.loc)
+        if len(expr.indices) != len(array.dims):
+            raise SemanticError(
+                f"array {expr.array!r} has {len(array.dims)} dimensions, "
+                f"indexed with {len(expr.indices)}", expr.loc)
+        for i, index in enumerate(expr.indices):
+            index = self._expr(index)
+            if index.type != ast.INT:
+                raise SemanticError("array indices must be int", index.loc)
+            expr.indices[i] = index
+        expr.type = array.type
+        return array.type
+
+    def _expr(self, expr: ast.Expr, allow_void: bool = False) -> ast.Expr:
+        if isinstance(expr, ast.IntLit):
+            expr.type = ast.INT
+        elif isinstance(expr, ast.FloatLit):
+            expr.type = ast.FLOAT
+        elif isinstance(expr, ast.Name):
+            expr.type = self._lookup_scalar(expr.ident, expr.loc)
+        elif isinstance(expr, ast.ArrayIndex):
+            self._array_index(expr)
+        elif isinstance(expr, ast.Cast):
+            expr.operand = self._expr(expr.operand)
+            expr.type = expr.target
+        elif isinstance(expr, ast.UnaryOp):
+            expr.operand = self._expr(expr.operand)
+            if expr.op == "!":
+                if expr.operand.type != ast.INT:
+                    raise SemanticError("'!' requires an int operand",
+                                        expr.loc)
+                expr.type = ast.INT
+            else:
+                expr.type = expr.operand.type
+        elif isinstance(expr, ast.BinOp):
+            self._binop(expr)
+        elif isinstance(expr, ast.Call):
+            self._call(expr, allow_void)
+        else:
+            raise SemanticError(f"unknown expression {type(expr).__name__}",
+                                expr.loc)
+        return expr
+
+    def _binop(self, expr: ast.BinOp) -> None:
+        expr.left = self._expr(expr.left)
+        expr.right = self._expr(expr.right)
+        op = expr.op
+        left_t, right_t = expr.left.type, expr.right.type
+        if op == "%" or op in _LOGIC_OPS:
+            if left_t != ast.INT or right_t != ast.INT:
+                raise SemanticError(f"{op!r} requires int operands", expr.loc)
+            expr.type = ast.INT
+            return
+        if op in _ARITH_OPS or op in _CMP_OPS:
+            if ast.FLOAT in (left_t, right_t):
+                expr.left = self._coerce(expr.left, ast.FLOAT, expr.loc)
+                expr.right = self._coerce(expr.right, ast.FLOAT, expr.loc)
+                expr.type = ast.INT if op in _CMP_OPS else ast.FLOAT
+            else:
+                expr.type = ast.INT
+            return
+        raise SemanticError(f"unknown operator {op!r}", expr.loc)
+
+    def _call(self, expr: ast.Call, allow_void: bool) -> None:
+        func = self.functions.get(expr.func)
+        if func is None:
+            raise SemanticError(f"undefined function {expr.func!r}", expr.loc)
+        if len(expr.args) != len(func.params):
+            raise SemanticError(
+                f"{expr.func!r} takes {len(func.params)} arguments, "
+                f"got {len(expr.args)}", expr.loc)
+        for i, (arg, param) in enumerate(zip(expr.args, func.params)):
+            expr.args[i] = self._coerce(self._expr(arg), param.type, expr.loc)
+        if func.return_type is None and not allow_void:
+            raise SemanticError(
+                f"{expr.func!r} returns nothing and cannot be used in an "
+                "expression", expr.loc)
+        expr.type = func.return_type
+        if self._current is not None:
+            self._calls[self._current.name].add(expr.func)
+
+    # ------------------------------------------------------------ call graph
+    def _check_recursion(self) -> None:
+        """Reject call cycles: every call is inlined during lowering."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self.functions}
+
+        def visit(name: str, stack: list[str]) -> None:
+            color[name] = GREY
+            for callee in sorted(self._calls.get(name, ())):
+                if color[callee] == GREY:
+                    cycle = " -> ".join(stack + [name, callee])
+                    raise SemanticError(
+                        f"recursion is not supported (calls are inlined): "
+                        f"{cycle}")
+                if color[callee] == WHITE:
+                    visit(callee, stack + [name])
+            color[name] = BLACK
+
+        for name in self.functions:
+            if color[name] == WHITE:
+                visit(name, [])
+
+
+def analyze(program: ast.ProgramAST) -> ast.ProgramAST:
+    """Run semantic analysis, mutating and returning *program*."""
+    return Analyzer(program).analyze()

@@ -1,0 +1,46 @@
+"""Experiment harness: compilation driver, runner, table generators."""
+
+from .compile import (
+    CompileResult,
+    Options,
+    compile_and_run,
+    compile_source,
+    make_weight_model,
+    run_compiled,
+)
+from .experiment import (
+    CONFIGS,
+    SCHEDULERS,
+    ExperimentRunner,
+    RunResult,
+    arithmetic_mean,
+    geometric_mean,
+    options_for,
+)
+from .report import build_report, write_report
+from .tables import (
+    ALL_TABLES,
+    Table,
+    format_table,
+    generate_all,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+
+__all__ = [
+    "CompileResult", "Options", "compile_and_run", "compile_source",
+    "make_weight_model", "run_compiled",
+    "CONFIGS", "SCHEDULERS", "ExperimentRunner", "RunResult",
+    "arithmetic_mean", "geometric_mean", "options_for",
+    "build_report", "write_report",
+    "ALL_TABLES", "Table", "format_table", "generate_all",
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "table7", "table8", "table9",
+]

@@ -1,0 +1,187 @@
+"""End-to-end compilation driver: source text -> machine program.
+
+Pipeline (DESIGN.md section 4):
+
+1. frontend (lex / parse / semantic analysis);
+2. AST loop transformations — locality analysis (peel + reuse unroll +
+   hit/miss marks), loop unrolling (factor 4/8), predication;
+3. lowering to a virtual-register CFG;
+4. classic cleanups (constant folding, copy propagation, DCE);
+5. scheduling — per-block list scheduling with traditional or balanced
+   weights, or profile-driven trace scheduling;
+6. linear-scan register allocation with spill insertion;
+7. linearization to a :class:`~repro.isa.MachineProgram`.
+
+Trace scheduling needs a profile: the same program is compiled without
+trace scheduling, run once in profiling mode, and the block/edge
+frequencies feed trace formation (the paper's methodology, section 4.2).
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..analysis.locality import LocalityStats, analyze_locality
+from ..codegen.lower import lower
+from ..codegen.regalloc import AllocationResult, allocate_registers
+from ..codegen.verify import verify_program
+from ..frontend import frontend, parse, analyze
+from ..ir import Cfg
+from ..isa import MachineProgram
+from ..machine import DEFAULT_CONFIG, MachineConfig, Metrics, Simulator
+from ..opt.constfold import fold_constants
+from ..opt.copyprop import propagate_copies
+from ..opt.dce import eliminate_dead_code
+from ..opt.predication import predicate_program
+from ..opt.unroll import UnrollStats, unroll_program
+from ..sched import (
+    BalancedWeights,
+    ProfileData,
+    TraditionalWeights,
+    WeightModel,
+    schedule_cfg,
+    trace_schedule,
+)
+
+SCHEDULERS = ("balanced", "traditional", "none")
+
+
+@dataclass(frozen=True)
+class Options:
+    """One point in the paper's experiment grid."""
+
+    scheduler: str = "balanced"       # "balanced" | "traditional" | "none"
+    unroll: int = 0                   # 0, 4 or 8
+    trace: bool = False
+    locality: bool = False
+    predicate: bool = True
+    classic_opts: bool = True
+    #: Optional extra passes (local CSE + loop-invariant code motion).
+    #: Off by default: the paper-calibrated results are measured
+    #: without them; see benchmarks/test_ablation_extra_opts.py.
+    extra_opts: bool = False
+    config: MachineConfig = field(default=DEFAULT_CONFIG)
+    # Ablation knobs for the balanced weight computation.
+    balanced_component_sharing: bool = True
+    balanced_cap: Optional[float] = None
+
+    def label(self) -> str:
+        parts = [self.scheduler]
+        if self.locality:
+            parts.append("la")
+        if self.unroll:
+            parts.append(f"lu{self.unroll}")
+        if self.trace:
+            parts.append("trs")
+        return "+".join(parts)
+
+    def validate(self) -> None:
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.unroll not in (0, 4, 8):
+            raise ValueError(f"unsupported unroll factor {self.unroll}")
+
+
+@dataclass
+class CompileResult:
+    program: MachineProgram
+    cfg: Cfg
+    options: Options
+    allocation: AllocationResult
+    unroll_stats: Optional[UnrollStats] = None
+    locality_stats: Optional[LocalityStats] = None
+    trace_stats: Optional[object] = None
+    profile: Optional[ProfileData] = None
+
+    @property
+    def static_instructions(self) -> int:
+        return len(self.program)
+
+
+def make_weight_model(options: Options) -> Optional[WeightModel]:
+    if options.scheduler == "traditional":
+        return TraditionalWeights(options.config)
+    if options.scheduler == "balanced":
+        return BalancedWeights(
+            options.config,
+            use_locality=options.locality,
+            component_sharing=options.balanced_component_sharing,
+            cap=options.balanced_cap)
+    return None
+
+
+def compile_source(source: str, options: Options = Options(),
+                   name: str = "program") -> CompileResult:
+    """Compile *source* under *options* to an executable program."""
+    options.validate()
+    program_ast = frontend(source, name)
+
+    unroll_stats = None
+    locality_stats = None
+    if options.locality:
+        locality_stats = analyze_locality(program_ast)
+    if options.unroll:
+        unroll_stats = unroll_program(program_ast, options.unroll)
+    if options.predicate:
+        predicate_program(program_ast)
+
+    cfg = lower(program_ast)
+    if options.classic_opts:
+        fold_constants(cfg)
+        propagate_copies(cfg)
+        eliminate_dead_code(cfg)
+    if options.extra_opts:
+        from ..opt.cse import eliminate_common_subexpressions
+        from ..opt.licm import hoist_loop_invariants
+
+        eliminate_common_subexpressions(cfg)
+        hoist_loop_invariants(cfg)
+        propagate_copies(cfg)
+        eliminate_dead_code(cfg)
+
+    model = make_weight_model(options)
+    trace_stats = None
+    profile = None
+    if options.trace and model is not None:
+        profile = _collect_profile(cfg, options)
+        trace_stats = trace_schedule(cfg, profile, model)
+    elif model is not None:
+        schedule_cfg(cfg, model)
+
+    allocation = allocate_registers(cfg)
+    program = cfg.linearize()
+    verify_program(program)
+    return CompileResult(program=program, cfg=cfg, options=options,
+                         allocation=allocation, unroll_stats=unroll_stats,
+                         locality_stats=locality_stats,
+                         trace_stats=trace_stats, profile=profile)
+
+
+def _collect_profile(cfg: Cfg, options: Options) -> ProfileData:
+    """Profile the pre-trace CFG by running it once (paper section 4.2).
+
+    The profiling copy is compiled with the original (unscheduled)
+    block order on a deep copy so the real CFG is untouched.
+    """
+    snapshot = _copy.deepcopy(cfg)
+    allocate_registers(snapshot)
+    program = snapshot.linearize()
+    sim = Simulator(program, config=options.config, profile=True)
+    sim.run()
+    return ProfileData(block_counts=dict(sim.block_counts),
+                       edge_counts=dict(sim.edge_counts))
+
+
+def run_compiled(result: CompileResult,
+                 max_instructions: int = 200_000_000) -> Metrics:
+    """Simulate a compiled program and return its metrics."""
+    sim = Simulator(result.program, config=result.options.config)
+    return sim.run(max_instructions=max_instructions)
+
+
+def compile_and_run(source: str, options: Options = Options(),
+                    name: str = "program") -> tuple[CompileResult, Metrics]:
+    result = compile_source(source, options, name)
+    return result, run_compiled(result)

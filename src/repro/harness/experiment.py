@@ -1,0 +1,203 @@
+"""Experiment runner: the paper's scheduler x optimization grid.
+
+One *configuration* is a named point of the evaluation grid (paper
+section 4): a scheduler (balanced/traditional) combined with loop
+unrolling (0/4/8), trace scheduling, and locality analysis.  The runner
+compiles every workload under a configuration, simulates it, and
+returns a compact :class:`RunResult`.
+
+Results are cached on disk (keyed by a hash of the package sources,
+the workload program and the configuration), so regenerating all
+tables after the first full run is cheap.  Set ``REPRO_NO_CACHE=1`` to
+disable the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..machine import Simulator
+from ..workloads.programs import WORKLOADS, Workload
+from .compile import Options, compile_source
+
+#: The paper's configuration axes, by short name.
+CONFIGS: dict[str, dict] = {
+    "base": {},
+    "lu4": {"unroll": 4},
+    "lu8": {"unroll": 8},
+    "trs4": {"unroll": 4, "trace": True},
+    "trs8": {"unroll": 8, "trace": True},
+    "la": {"locality": True},
+    "la+lu4": {"locality": True, "unroll": 4},
+    "la+lu8": {"locality": True, "unroll": 8},
+    "la+trs4": {"locality": True, "unroll": 4, "trace": True},
+    "la+trs8": {"locality": True, "unroll": 8, "trace": True},
+}
+
+SCHEDULERS = ("balanced", "traditional")
+
+
+@dataclass
+class RunResult:
+    """Everything the paper's tables need from one simulated run."""
+
+    benchmark: str
+    scheduler: str
+    config: str
+    total_cycles: int
+    instructions: int
+    load_interlock_cycles: int
+    fixed_interlock_cycles: int
+    icache_stall_cycles: int
+    branch_stall_cycles: int
+    mshr_stall_cycles: int
+    spill_loads: int
+    spill_stores: int
+    loads: int
+    stores: int
+    branches: int
+    short_int: int
+    long_int: int
+    short_fp: int
+    long_fp: int
+    l1d_misses: int
+    l2_misses: int
+    l3_misses: int
+    branch_mispredicts: int
+    static_instructions: int
+    spill_slots: int
+
+    @property
+    def load_interlock_fraction(self) -> float:
+        return (self.load_interlock_cycles / self.total_cycles
+                if self.total_cycles else 0.0)
+
+
+def options_for(scheduler: str, config: str) -> Options:
+    """Build compiler options for a named grid point."""
+    knobs = CONFIGS[config]
+    return Options(scheduler=scheduler, **knobs)
+
+
+def _package_fingerprint() -> str:
+    """Hash of all package sources: invalidates the cache on changes."""
+    root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+class ExperimentRunner:
+    """Compiles, simulates and caches the full experiment grid."""
+
+    def __init__(self, cache_dir: Optional[Path] = None,
+                 verbose: bool = False) -> None:
+        if cache_dir is None:
+            cache_dir = Path(
+                os.environ.get("REPRO_CACHE_DIR",
+                               Path.home() / ".cache" / "repro-pldi95"))
+        self.cache_dir = Path(cache_dir)
+        self.use_cache = os.environ.get("REPRO_NO_CACHE") != "1"
+        self.verbose = verbose
+        self._fingerprint = _package_fingerprint()
+        self._memory: dict[tuple[str, str, str], RunResult] = {}
+
+    # -------------------------------------------------------------- cache
+    def _cache_path(self, workload: Workload, scheduler: str,
+                    config: str) -> Path:
+        source_hash = hashlib.sha256(
+            workload.source.encode()).hexdigest()[:12]
+        name = (f"{workload.name}-{scheduler}-{config}-"
+                f"{self._fingerprint}-{source_hash}.json")
+        return self.cache_dir / name
+
+    def _load_cached(self, path: Path) -> Optional[RunResult]:
+        if not self.use_cache or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            return RunResult(**data)
+        except (ValueError, TypeError):
+            return None
+
+    def _store_cached(self, path: Path, result: RunResult) -> None:
+        if not self.use_cache:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(asdict(result)))
+
+    # --------------------------------------------------------------- runs
+    def run(self, benchmark: str, scheduler: str, config: str) -> RunResult:
+        """One grid point for one benchmark (cached)."""
+        key = (benchmark, scheduler, config)
+        if key in self._memory:
+            return self._memory[key]
+        workload = WORKLOADS[benchmark]
+        path = self._cache_path(workload, scheduler, config)
+        result = self._load_cached(path)
+        if result is None:
+            result = self._execute(workload, scheduler, config)
+            self._store_cached(path, result)
+        self._memory[key] = result
+        return result
+
+    def _execute(self, workload: Workload, scheduler: str,
+                 config: str) -> RunResult:
+        if self.verbose:
+            print(f"  running {workload.name} / {scheduler} / {config}")
+        compiled = compile_source(workload.source,
+                                  options_for(scheduler, config),
+                                  workload.name)
+        sim = Simulator(compiled.program)
+        metrics = sim.run()
+        return RunResult(
+            benchmark=workload.name, scheduler=scheduler, config=config,
+            total_cycles=metrics.total_cycles,
+            instructions=metrics.instructions,
+            load_interlock_cycles=metrics.load_interlock_cycles,
+            fixed_interlock_cycles=metrics.fixed_interlock_cycles,
+            icache_stall_cycles=metrics.icache_stall_cycles,
+            branch_stall_cycles=metrics.branch_stall_cycles,
+            mshr_stall_cycles=metrics.mshr_stall_cycles,
+            spill_loads=metrics.spill_loads,
+            spill_stores=metrics.spill_stores,
+            loads=metrics.loads, stores=metrics.stores,
+            branches=metrics.branches,
+            short_int=metrics.short_int, long_int=metrics.long_int,
+            short_fp=metrics.short_fp, long_fp=metrics.long_fp,
+            l1d_misses=metrics.l1d.misses, l2_misses=metrics.l2.misses,
+            l3_misses=metrics.l3.misses,
+            branch_mispredicts=metrics.branch_mispredicts,
+            static_instructions=len(compiled.program),
+            spill_slots=compiled.allocation.n_slots)
+
+    # ------------------------------------------------------------- sweeps
+    def sweep(self, benchmarks: Optional[list[str]] = None,
+              schedulers=SCHEDULERS,
+              configs: Optional[list[str]] = None) -> list[RunResult]:
+        """Run (or fetch) a whole sub-grid."""
+        results = []
+        for benchmark in benchmarks or list(WORKLOADS):
+            for scheduler in schedulers:
+                for config in configs or list(CONFIGS):
+                    results.append(self.run(benchmark, scheduler, config))
+        return results
+
+
+def geometric_mean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

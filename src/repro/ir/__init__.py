@@ -1,0 +1,15 @@
+"""Mid-level IR: control-flow graph, analyses, dependence DAGs."""
+
+from .cfg import BasicBlock, Cfg
+from .dag import ANTI, MEM, ORDER, OUT, TRUE, Dag, build_dag
+from .dominators import dominates, immediate_dominators, reverse_postorder
+from .liveness import block_use_def, live_at_each_instruction, liveness
+from .loops import NaturalLoop, find_back_edges, find_loops, loop_depths
+
+__all__ = [
+    "BasicBlock", "Cfg",
+    "ANTI", "MEM", "ORDER", "OUT", "TRUE", "Dag", "build_dag",
+    "dominates", "immediate_dominators", "reverse_postorder",
+    "block_use_def", "live_at_each_instruction", "liveness",
+    "NaturalLoop", "find_back_edges", "find_loops", "loop_depths",
+]

@@ -1,0 +1,80 @@
+"""Dominator computation (iterative Cooper–Harvey–Kennedy algorithm)."""
+
+from __future__ import annotations
+
+from .cfg import Cfg
+
+
+def reverse_postorder(cfg: Cfg) -> list[str]:
+    """Block labels in reverse postorder from the entry."""
+    seen: set[str] = set()
+    postorder: list[str] = []
+
+    def visit(label: str) -> None:
+        stack = [(label, iter(cfg.successors(label)))]
+        seen.add(label)
+        while stack:
+            current, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(cfg.successors(succ))))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    visit(cfg.entry)
+    return list(reversed(postorder))
+
+
+def immediate_dominators(cfg: Cfg) -> dict[str, str]:
+    """Map each reachable block to its immediate dominator.
+
+    The entry maps to itself.  Unreachable blocks are absent.
+    """
+    rpo = reverse_postorder(cfg)
+    index = {label: i for i, label in enumerate(rpo)}
+    preds = cfg.predecessors()
+    idom: dict[str, str] = {cfg.entry: cfg.entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == cfg.entry:
+                continue
+            candidates = [p for p in preds[label] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: dict[str, str], a: str, b: str, entry: str) -> bool:
+    """Whether *a* dominates *b* under the given idom map."""
+    current = b
+    while True:
+        if current == a:
+            return True
+        if current == entry:
+            return a == entry
+        parent = idom.get(current)
+        if parent is None or parent == current:
+            return a == current
+        current = parent

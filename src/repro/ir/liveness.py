@@ -1,0 +1,65 @@
+"""Backward liveness analysis over the CFG.
+
+Used by dead-code elimination, the register allocator, and trace
+scheduling's speculation-safety rule (an instruction may not move above
+a split if it writes a register that is live on the off-trace path).
+"""
+
+from __future__ import annotations
+
+from ..isa import Reg
+from .cfg import Cfg
+
+
+def block_use_def(block_instrs) -> tuple[set[Reg], set[Reg]]:
+    """(upward-exposed uses, defs) for a straight-line instruction list."""
+    uses: set[Reg] = set()
+    defs: set[Reg] = set()
+    for instr in block_instrs:
+        for reg in instr.uses():
+            if reg not in defs:
+                uses.add(reg)
+        for reg in instr.defs():
+            defs.add(reg)
+    return uses, defs
+
+
+def liveness(cfg: Cfg) -> tuple[dict[str, set[Reg]], dict[str, set[Reg]]]:
+    """Compute (live_in, live_out) register sets for every block."""
+    use: dict[str, set[Reg]] = {}
+    defs: dict[str, set[Reg]] = {}
+    for block in cfg:
+        use[block.label], defs[block.label] = block_use_def(block.instrs)
+    live_in = {label: set() for label in cfg.order}
+    live_out = {label: set() for label in cfg.order}
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(cfg.order):
+            out: set[Reg] = set()
+            for succ in cfg.successors(label):
+                out |= live_in[succ]
+            new_in = use[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def live_at_each_instruction(block_instrs, live_out: set[Reg]) -> list[set[Reg]]:
+    """Registers live *after* each instruction, last to first order fixed.
+
+    Returns a list parallel to ``block_instrs`` where entry ``i`` is the
+    set of registers live immediately after instruction ``i``.
+    """
+    after: list[set[Reg]] = [set() for _ in block_instrs]
+    live = set(live_out)
+    for index in range(len(block_instrs) - 1, -1, -1):
+        after[index] = set(live)
+        instr = block_instrs[index]
+        for reg in instr.defs():
+            live.discard(reg)
+        for reg in instr.uses():
+            live.add(reg)
+    return after

@@ -1,0 +1,35 @@
+"""Alpha-like target ISA: opcodes, registers, instructions, programs."""
+
+from .opcodes import (
+    BRANCH_OPS,
+    COMMUTATIVE_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    OPCODES,
+    STORE_OPS,
+    OpClass,
+    OpInfo,
+    opinfo,
+)
+from .registers import (
+    FZERO,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    SP,
+    ZERO,
+    Reg,
+    VirtualRegAllocator,
+    freg,
+    ireg,
+)
+from .instruction import Instruction, Locality, MemRef
+from .program import DataSymbol, MachineProgram, assemble
+
+__all__ = [
+    "BRANCH_OPS", "COMMUTATIVE_OPS", "LOAD_OPS", "MEM_OPS", "OPCODES",
+    "STORE_OPS", "OpClass", "OpInfo", "opinfo",
+    "FZERO", "NUM_FP_REGS", "NUM_INT_REGS", "SP", "ZERO", "Reg",
+    "VirtualRegAllocator", "freg", "ireg",
+    "Instruction", "Locality", "MemRef",
+    "DataSymbol", "MachineProgram", "assemble",
+]

@@ -1,0 +1,168 @@
+"""Opcode definitions for the Alpha-like target ISA.
+
+The instruction set is a simplified DEC Alpha 21164: a load/store RISC
+with separate integer and floating-point register files, compare
+instructions that write 0/1 into integer registers, and conditional
+moves (the 21164 CMOV family) used by the predication pass.
+
+Each opcode carries static metadata (:class:`OpInfo`) describing its
+operand shape and its *class* for the paper's metrics: long/short
+integer, long/short floating point, load, store, branch.  Latencies
+live in :mod:`repro.machine.config`; classification lives here because
+the compiler needs it independently of any machine model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpClass(enum.Enum):
+    """Instruction class used for dynamic-count metrics (paper 4.3)."""
+
+    SHORT_INT = "short_int"
+    LONG_INT = "long_int"
+    SHORT_FP = "short_fp"
+    LONG_FP = "long_fp"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one opcode.
+
+    Attributes:
+        name: mnemonic.
+        opclass: metric class.
+        nsrc: number of register sources (excluding an address base).
+        has_dest: whether the instruction writes a destination register.
+        dest_fp: destination is a floating-point register.
+        src_fp: tuple of booleans, one per register source, True when
+            that source is a floating-point register.
+        imm_ok: the last register source may instead be an integer
+            immediate (Alpha operate-format literals).
+        is_mem: load or store (has a base register + byte offset).
+        is_branch: transfers control (has a label target).
+        reads_dest: destination register is also read (CMOV family).
+    """
+
+    name: str
+    opclass: OpClass
+    nsrc: int = 2
+    has_dest: bool = True
+    dest_fp: bool = False
+    src_fp: tuple[bool, ...] = (False, False)
+    imm_ok: bool = True
+    is_mem: bool = False
+    is_branch: bool = False
+    reads_dest: bool = False
+
+
+def _int2(name: str, opclass: OpClass = OpClass.SHORT_INT) -> OpInfo:
+    return OpInfo(name, opclass, nsrc=2, src_fp=(False, False))
+
+
+def _fp2(name: str, opclass: OpClass = OpClass.SHORT_FP) -> OpInfo:
+    return OpInfo(
+        name, opclass, nsrc=2, dest_fp=True, src_fp=(True, True), imm_ok=False
+    )
+
+
+def _fpcmp(name: str) -> OpInfo:
+    # FP compares write 0/1 into an *integer* register (simplification of
+    # the Alpha fp-condition convention, so branches need only one form).
+    return OpInfo(
+        name, OpClass.SHORT_FP, nsrc=2, dest_fp=False, src_fp=(True, True),
+        imm_ok=False,
+    )
+
+
+OPCODES: dict[str, OpInfo] = {}
+
+
+def _register(info: OpInfo) -> None:
+    if info.name in OPCODES:
+        raise ValueError(f"duplicate opcode {info.name}")
+    OPCODES[info.name] = info
+
+
+# ---------------------------------------------------------------- integer
+for _name in ("ADD", "SUB", "AND", "OR", "XOR", "SLL", "SRL", "SRA",
+              "CMPEQ", "CMPNE", "CMPLT", "CMPLE"):
+    _register(_int2(_name))
+for _name in ("MUL", "DIVQ", "REMQ"):
+    _register(_int2(_name, OpClass.LONG_INT))
+_register(OpInfo("MOV", OpClass.SHORT_INT, nsrc=1, src_fp=(False,)))
+_register(OpInfo("LDI", OpClass.SHORT_INT, nsrc=0, src_fp=(), imm_ok=False))
+
+# ----------------------------------------------------------- floating point
+for _name in ("FADD", "FSUB", "FMUL"):
+    _register(_fp2(_name))
+_register(_fp2("FDIV", OpClass.LONG_FP))
+for _name in ("FCMPEQ", "FCMPNE", "FCMPLT", "FCMPLE"):
+    _register(_fpcmp(_name))
+_register(OpInfo("FMOV", OpClass.SHORT_FP, nsrc=1, dest_fp=True,
+                 src_fp=(True,), imm_ok=False))
+_register(OpInfo("FNEG", OpClass.SHORT_FP, nsrc=1, dest_fp=True,
+                 src_fp=(True,), imm_ok=False))
+_register(OpInfo("FLDI", OpClass.SHORT_FP, nsrc=0, dest_fp=True, src_fp=(),
+                 imm_ok=False))
+_register(OpInfo("CVTIF", OpClass.SHORT_FP, nsrc=1, dest_fp=True,
+                 src_fp=(False,), imm_ok=False))
+_register(OpInfo("CVTFI", OpClass.SHORT_FP, nsrc=1, dest_fp=False,
+                 src_fp=(True,), imm_ok=False))
+
+# ------------------------------------------------------------------ memory
+_register(OpInfo("LD", OpClass.LOAD, nsrc=1, src_fp=(False,), imm_ok=False,
+                 is_mem=True))
+_register(OpInfo("FLD", OpClass.LOAD, nsrc=1, dest_fp=True, src_fp=(False,),
+                 imm_ok=False, is_mem=True))
+# Stores read the value register (source 0) and the base register.
+_register(OpInfo("ST", OpClass.STORE, nsrc=2, has_dest=False,
+                 src_fp=(False, False), imm_ok=False, is_mem=True))
+_register(OpInfo("FST", OpClass.STORE, nsrc=2, has_dest=False,
+                 src_fp=(True, False), imm_ok=False, is_mem=True))
+
+# ----------------------------------------------------------------- control
+_register(OpInfo("BR", OpClass.BRANCH, nsrc=0, has_dest=False, src_fp=(),
+                 imm_ok=False, is_branch=True))
+_register(OpInfo("BEQ", OpClass.BRANCH, nsrc=1, has_dest=False,
+                 src_fp=(False,), imm_ok=False, is_branch=True))
+_register(OpInfo("BNE", OpClass.BRANCH, nsrc=1, has_dest=False,
+                 src_fp=(False,), imm_ok=False, is_branch=True))
+_register(OpInfo("HALT", OpClass.OTHER, nsrc=0, has_dest=False, src_fp=(),
+                 imm_ok=False))
+_register(OpInfo("NOP", OpClass.OTHER, nsrc=0, has_dest=False, src_fp=(),
+                 imm_ok=False))
+
+# --------------------------------------------------------- conditional move
+# CMOVxx rd, rc, rb: rd = rb when the condition on rc holds, else rd keeps
+# its old value -- hence the destination is also a source (reads_dest).
+_register(OpInfo("CMOVEQ", OpClass.SHORT_INT, nsrc=2,
+                 src_fp=(False, False), reads_dest=True))
+_register(OpInfo("CMOVNE", OpClass.SHORT_INT, nsrc=2,
+                 src_fp=(False, False), reads_dest=True))
+_register(OpInfo("FCMOVEQ", OpClass.SHORT_FP, nsrc=2, dest_fp=True,
+                 src_fp=(False, True), imm_ok=False, reads_dest=True))
+_register(OpInfo("FCMOVNE", OpClass.SHORT_FP, nsrc=2, dest_fp=True,
+                 src_fp=(False, True), imm_ok=False, reads_dest=True))
+
+
+LOAD_OPS = frozenset(n for n, i in OPCODES.items() if i.opclass is OpClass.LOAD)
+STORE_OPS = frozenset(n for n, i in OPCODES.items()
+                      if i.opclass is OpClass.STORE)
+MEM_OPS = LOAD_OPS | STORE_OPS
+BRANCH_OPS = frozenset(n for n, i in OPCODES.items() if i.is_branch)
+COMMUTATIVE_OPS = frozenset(
+    {"ADD", "AND", "OR", "XOR", "MUL", "CMPEQ", "CMPNE",
+     "FADD", "FMUL", "FCMPEQ", "FCMPNE"}
+)
+
+
+def opinfo(name: str) -> OpInfo:
+    """Return the :class:`OpInfo` for *name*, raising KeyError if unknown."""
+    return OPCODES[name]

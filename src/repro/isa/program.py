@@ -1,0 +1,86 @@
+"""Linear machine programs: the unit the simulator executes.
+
+A :class:`MachineProgram` is a flat instruction list plus a label map
+and a data-segment layout (symbol name -> byte address / size).  The
+code generator emits one; the simulator interprets one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .instruction import Instruction
+from .opcodes import OpClass
+
+
+@dataclass
+class DataSymbol:
+    """One statically allocated object in the data segment."""
+
+    name: str
+    address: int            # byte address, 8-byte aligned
+    size_bytes: int
+    is_fp: bool
+    dims: tuple[int, ...] = ()   # () for scalars
+    initial: Optional[list] = None
+
+
+@dataclass
+class MachineProgram:
+    """Executable program: instructions, labels and data layout."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    symbols: dict[str, DataSymbol] = field(default_factory=dict)
+    data_size: int = 0          # bytes of static data
+    stack_base: int = 0         # byte address of the spill/local area
+    stack_size: int = 0
+
+    def resolve(self) -> None:
+        """Check that every branch target exists."""
+        for instr in self.instructions:
+            if instr.is_branch and instr.label not in self.labels:
+                raise ValueError(f"undefined label {instr.label!r}")
+
+    def target_index(self, label: str) -> int:
+        return self.labels[label]
+
+    def static_counts(self) -> dict[OpClass, int]:
+        counts: dict[OpClass, int] = {}
+        for instr in self.instructions:
+            cls = instr.info.opclass
+            counts[cls] = counts.get(cls, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def format(self) -> str:
+        """Human-readable listing with labels interleaved."""
+        by_index: dict[int, list[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines: list[str] = []
+        for index, instr in enumerate(self.instructions):
+            for label in sorted(by_index.get(index, ())):
+                lines.append(f"{label}:")
+            lines.append(f"    {instr.format()}")
+        for label in sorted(by_index.get(len(self.instructions), ())):
+            lines.append(f"{label}:")
+        return "\n".join(lines)
+
+
+def assemble(chunks: Iterable[tuple[Optional[str], list[Instruction]]],
+             symbols: Optional[dict[str, DataSymbol]] = None,
+             data_size: int = 0) -> MachineProgram:
+    """Build a program from ``(label, instructions)`` chunks in order."""
+    program = MachineProgram(symbols=dict(symbols or {}), data_size=data_size)
+    for label, instrs in chunks:
+        if label is not None:
+            if label in program.labels:
+                raise ValueError(f"duplicate label {label!r}")
+            program.labels[label] = len(program.instructions)
+        program.instructions.extend(instrs)
+    program.resolve()
+    return program

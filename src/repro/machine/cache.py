@@ -1,0 +1,127 @@
+"""Set-associative cache models with LRU replacement.
+
+Timing-only models: they track tags, not data (the simulator keeps the
+architectural memory state separately).  The L1 data cache is
+*lockup-free* (Kroft-style): the simulator layers MSHR bookkeeping on
+top of these tag arrays (see :mod:`repro.machine.simulator`).
+"""
+
+from __future__ import annotations
+
+from .config import CacheLevelConfig
+from .metrics import CacheStats
+
+
+class Cache:
+    """One cache level: ``lookup`` probes and fills on miss."""
+
+    def __init__(self, config: CacheLevelConfig) -> None:
+        self.config = config
+        line = config.line_bytes
+        if line & (line - 1):
+            raise ValueError("line size must be a power of two")
+        self.line_shift = line.bit_length() - 1
+        n_lines = config.size_bytes // line
+        self.assoc = config.assoc if config.assoc else n_lines
+        self.n_sets = max(1, n_lines // self.assoc)
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("set count must be a power of two")
+        self.set_mask = self.n_sets - 1
+        # Per-set list of tags in LRU order (most recent last).
+        self.sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def lookup(self, addr: int, allocate: bool = True) -> bool:
+        """Probe the cache; fill on miss when *allocate*.  True = hit."""
+        line = addr >> self.line_shift
+        index = line & self.set_mask
+        tag = line >> 0  # full line number as tag (set bits redundant, fine)
+        ways = self.sets[index]
+        self.stats.accesses += 1
+        if tag in ways:
+            if ways[-1] != tag:
+                ways.remove(tag)
+                ways.append(tag)
+            return True
+        self.stats.misses += 1
+        if allocate:
+            ways.append(tag)
+            if len(ways) > self.assoc:
+                ways.pop(0)
+        return False
+
+    def contains(self, addr: int) -> bool:
+        line = addr >> self.line_shift
+        return line in self.sets[line & self.set_mask]
+
+    def invalidate(self, addr: int) -> None:
+        line = addr >> self.line_shift
+        ways = self.sets[line & self.set_mask]
+        if line in ways:
+            ways.remove(line)
+
+    def reset(self) -> None:
+        self.sets = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+
+class Tlb:
+    """Fully associative TLB with LRU replacement."""
+
+    def __init__(self, entries: int, page_bytes: int) -> None:
+        if page_bytes & (page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+        self.entries = entries
+        self.page_shift = page_bytes.bit_length() - 1
+        self.pages: dict[int, None] = {}
+        self.misses = 0
+
+    def lookup(self, addr: int) -> bool:
+        """Probe and fill; True = hit."""
+        page = addr >> self.page_shift
+        if page in self.pages:
+            # Refresh LRU position.
+            del self.pages[page]
+            self.pages[page] = None
+            return True
+        self.misses += 1
+        self.pages[page] = None
+        if len(self.pages) > self.entries:
+            oldest = next(iter(self.pages))
+            del self.pages[oldest]
+        return False
+
+    def reset(self) -> None:
+        self.pages.clear()
+        self.misses = 0
+
+
+class BranchPredictor:
+    """Direct-mapped table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 1024) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.mask = entries - 1
+        self.counters = [1] * entries   # weakly not-taken
+        self.mispredicts = 0
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict branch at *pc*, update state; True = correct."""
+        index = pc & self.mask
+        counter = self.counters[index]
+        predicted_taken = counter >= 2
+        if taken:
+            if counter < 3:
+                self.counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self.counters[index] = counter - 1
+        correct = predicted_taken == taken
+        if not correct:
+            self.mispredicts += 1
+        return correct
+
+    def reset(self) -> None:
+        self.counters = [1] * (self.mask + 1)
+        self.mispredicts = 0

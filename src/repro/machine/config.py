@@ -1,0 +1,167 @@
+"""Machine model constants: the paper's Tables 2 and 3.
+
+The processor is a single-issue, in-order, non-blocking model of the
+DEC Alpha 21164 (paper section 4.3).  Instruction latencies follow
+Table 3 exactly.  The memory hierarchy follows Table 2; where the
+scanned table is incomplete we use the 21164's published organization
+(8 KB direct-mapped L1s, 96 KB 3-way L2, off-chip board cache, 50-cycle
+main memory — the paper's stated maximum load latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Table 3 -- processor latencies (cycles until the result is available).
+INSTRUCTION_LATENCIES: dict[str, int] = {
+    "integer op": 1,
+    "integer multiply": 8,
+    "load": 2,               # L1 hit
+    "store": 1,
+    "fp op": 4,
+    "fp divide (single)": 17,
+    "fp divide (double)": 30,
+    "branch": 2,
+}
+
+#: Per-opcode result latency.  Loads are listed at their L1-hit value;
+#: the simulator replaces it with the actual hierarchy latency.
+OP_LATENCY: dict[str, int] = {}
+
+
+def _fill_op_latencies() -> None:
+    from ..isa import OPCODES, OpClass
+
+    for name, info in OPCODES.items():
+        if name == "FDIV":
+            lat = INSTRUCTION_LATENCIES["fp divide (double)"]
+        elif info.opclass is OpClass.LONG_INT:
+            lat = INSTRUCTION_LATENCIES["integer multiply"]
+        elif info.opclass is OpClass.SHORT_FP:
+            lat = INSTRUCTION_LATENCIES["fp op"]
+        elif info.opclass is OpClass.LOAD:
+            lat = INSTRUCTION_LATENCIES["load"]
+        elif info.opclass is OpClass.STORE:
+            lat = INSTRUCTION_LATENCIES["store"]
+        elif info.opclass is OpClass.BRANCH:
+            lat = INSTRUCTION_LATENCIES["branch"]
+        else:
+            lat = 1
+        OP_LATENCY[name] = lat
+
+
+_fill_op_latencies()
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    name: str
+    size_bytes: int
+    assoc: int                  # 0 = fully associative
+    line_bytes: int
+    latency: int                # total load-to-use latency at this level
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    entries: int
+    page_bytes: int
+    miss_penalty: int
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete machine description (Tables 2 and 3)."""
+
+    l1d: CacheLevelConfig = CacheLevelConfig("L1D", 8 * 1024, 1, 32, 2)
+    l1i: CacheLevelConfig = CacheLevelConfig("L1I", 8 * 1024, 1, 32, 2)
+    l2: CacheLevelConfig = CacheLevelConfig("L2", 96 * 1024, 3, 32, 9)
+    l3: CacheLevelConfig = CacheLevelConfig("L3", 2 * 1024 * 1024, 1, 64, 20)
+    memory_latency: int = 50
+    dtlb: TlbConfig = TlbConfig(64, 8 * 1024, 30)
+    itlb: TlbConfig = TlbConfig(48, 8 * 1024, 30)
+    mshr_entries: int = 6       # outstanding misses the lockup-free L1 allows
+    branch_mispredict_penalty: int = 4
+    #: Instructions issued per cycle.  The paper evaluates a single-issue
+    #: model (its section 4.3 simplification of the 21164); width 2 is
+    #: provided as the paper's stated future work ("wider-issue
+    #: processors that require considerable ILP").  In-order, at most
+    #: one memory operation per cycle, branches end the issue group.
+    issue_width: int = 1
+    mem_ports: int = 1
+
+    #: Memory model: "hierarchy" is the execution-driven 21164 model;
+    #: "stochastic" reproduces the original balanced-scheduling study's
+    #: setup (Kerns & Eggers 1993, discussed in this paper's section
+    #: 5.5): every load is a hit with probability ``stochastic_hit_rate``
+    #: and otherwise takes a normally distributed miss latency, with no
+    #: cache state at all.
+    memory_model: str = "hierarchy"
+    stochastic_hit_rate: float = 0.95
+    stochastic_miss_mean: float = 16.0
+    stochastic_miss_std: float = 4.0
+    #: Idealizations used by the simple model: an instruction cache
+    #: that always hits and a TLB that never misses.
+    perfect_icache: bool = False
+    perfect_dtlb: bool = False
+    op_latency: dict[str, int] = field(
+        default_factory=lambda: dict(OP_LATENCY))
+
+    #: Maximum balanced load weight (paper footnote 1: no load can take
+    #: more than the 50-cycle main-memory latency to satisfy).
+    @property
+    def max_load_weight(self) -> int:
+        return self.memory_latency
+
+    @property
+    def load_hit_latency(self) -> int:
+        return self.l1d.latency
+
+    def memory_table(self) -> list[tuple[str, str, str, str, str]]:
+        """Rows of the paper's Table 2 for the harness printers."""
+        rows = []
+        for level in (self.l1d, self.l1i, self.l2, self.l3):
+            assoc = "direct" if level.assoc == 1 else (
+                "full" if level.assoc == 0 else f"{level.assoc}-way")
+            rows.append((level.name, f"{level.size_bytes // 1024} KB", assoc,
+                         f"{level.line_bytes} B", f"{level.latency}"))
+        rows.append(("Memory", "-", "-", "-", f"{self.memory_latency}"))
+        rows.append(("D-TLB", f"{self.dtlb.entries} entries", "full",
+                     f"{self.dtlb.page_bytes // 1024} KB page",
+                     f"{self.dtlb.miss_penalty} (miss)"))
+        rows.append(("I-TLB", f"{self.itlb.entries} entries", "full",
+                     f"{self.itlb.page_bytes // 1024} KB page",
+                     f"{self.itlb.miss_penalty} (miss)"))
+        return rows
+
+
+DEFAULT_CONFIG = MachineConfig()
+
+
+def simple_stochastic_config(hit_rate: float = 0.95,
+                             miss_mean: float = 16.0,
+                             miss_std: float = 4.0) -> MachineConfig:
+    """The Kerns & Eggers 1993 'simple model' (paper section 5.5).
+
+    Single-cycle execution for everything except loads, a perfect
+    instruction cache and TLB, and stochastic load latencies: a
+    2-cycle hit with probability *hit_rate*, otherwise a normally
+    distributed miss (the original study's workstation-like memory).
+    """
+    flat_latency = {name: 1 for name in OP_LATENCY}
+    flat_latency["LD"] = flat_latency["FLD"] = 2
+    return MachineConfig(
+        memory_latency=int(miss_mean + 3 * miss_std),
+        memory_model="stochastic",
+        stochastic_hit_rate=hit_rate,
+        stochastic_miss_mean=miss_mean,
+        stochastic_miss_std=miss_std,
+        perfect_icache=True,
+        perfect_dtlb=True,
+        op_latency=flat_latency,
+    )
+
+#: Cache-line geometry used by the compiler's locality analysis: 32-byte
+#: lines, 8-byte (double-word) elements -> 4 elements per line (paper 3.3).
+ELEMENT_BYTES = 8
+ELEMENTS_PER_LINE = DEFAULT_CONFIG.l1d.line_bytes // ELEMENT_BYTES

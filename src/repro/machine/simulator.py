@@ -1,0 +1,570 @@
+"""Execution-driven simulator of the single-issue 21164-like machine.
+
+The simulator *executes* the program (architectural state: registers,
+memory) while modelling timing with a scoreboard:
+
+* in-order, single issue, one instruction per cycle when nothing
+  stalls;
+* **non-blocking loads**: a load issues, its destination register is
+  marked ready at issue + hierarchy latency, and execution continues;
+  the pipeline stalls only when an instruction *uses* a register that
+  is not ready yet (and at load issue when all MSHRs are busy);
+* stall cycles are attributed to the *producer* of the latest-ready
+  operand: a load (variable latency) or a fixed-latency instruction —
+  the paper's load vs. non-load interlock split;
+* 3-level cache hierarchy with a lockup-free L1 D-cache (6 MSHRs,
+  hit-under-miss and miss merging), I-cache, I/D TLBs, and a 2-bit
+  branch predictor; correctly predicted taken branches cost one bubble
+  (Table 3's 2-cycle branch), mispredicts cost the redirect penalty.
+
+A ``profile=True`` run additionally counts basic-block and edge
+frequencies (the paper's profiling step for trace selection).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa import MachineProgram, OpClass, Reg
+from .cache import BranchPredictor, Cache, Tlb
+from .config import DEFAULT_CONFIG, MachineConfig
+from .metrics import Metrics
+
+_MASK64 = (1 << 64) - 1
+
+# Opcode dispatch codes (grouped: arithmetic decoded generically).
+_OPC = {name: i for i, name in enumerate((
+    "LD", "FLD", "ST", "FST", "LDI", "FLDI", "BR", "BEQ", "BNE", "HALT",
+    "NOP", "ADD", "SUB", "MUL", "DIVQ", "REMQ", "AND", "OR", "XOR", "SLL",
+    "SRL", "SRA", "CMPEQ", "CMPNE", "CMPLT", "CMPLE", "MOV", "FADD", "FSUB",
+    "FMUL", "FDIV", "FCMPEQ", "FCMPNE", "FCMPLT", "FCMPLE", "FMOV", "FNEG",
+    "FLDI2", "CVTIF", "CVTFI", "CMOVEQ", "CMOVNE", "FCMOVEQ", "FCMOVNE"))}
+
+_CLASS_FIELD = {
+    OpClass.SHORT_INT: "short_int",
+    OpClass.LONG_INT: "long_int",
+    OpClass.SHORT_FP: "short_fp",
+    OpClass.LONG_FP: "long_fp",
+    OpClass.LOAD: "loads",
+    OpClass.STORE: "stores",
+    OpClass.BRANCH: "branches",
+    OpClass.OTHER: "short_int",
+}
+
+
+class SimulationError(Exception):
+    """Runtime fault: bad address, division by zero, runaway execution."""
+
+
+class Simulator:
+    """Executes one :class:`~repro.isa.MachineProgram`."""
+
+    def __init__(self, program: MachineProgram,
+                 config: MachineConfig = DEFAULT_CONFIG,
+                 profile: bool = False,
+                 stack_words: int = 4096) -> None:
+        self.program = program
+        self.config = config
+        self.profiling = profile
+
+        # Architectural memory: one Python number per 8-byte word.
+        data_words = max(program.data_size // 8, 16)
+        self.stack_base = data_words * 8
+        self.memory: list = [0] * (data_words + stack_words)
+        for symbol in program.symbols.values():
+            start = symbol.address // 8
+            count = symbol.size_bytes // 8
+            fill = 0.0 if symbol.is_fp else 0
+            for i in range(start, start + count):
+                self.memory[i] = fill
+            if symbol.initial is not None:
+                self.set_symbol(symbol.name, symbol.initial)
+
+        # Register slots (virtual or physical registers both work).
+        self._slots: dict[Reg, int] = {}
+        self.regs: list = []
+        self.ready: list[int] = []
+        self.from_load: list[bool] = []
+
+        # Machine structures.
+        self.l1d = Cache(config.l1d)
+        self.l1i = Cache(config.l1i)
+        self.l2 = Cache(config.l2)
+        self.l3 = Cache(config.l3)
+        self.dtlb = Tlb(config.dtlb.entries, config.dtlb.page_bytes)
+        self.itlb = Tlb(config.itlb.entries, config.itlb.page_bytes)
+        self.bpred = BranchPredictor()
+        self._mshr: dict[int, int] = {}       # line -> completion time
+        self._rng_state = 0x1234ABCD          # stochastic-model LCG
+
+        # Profiling.
+        self.block_counts: dict[str, int] = {}
+        self.edge_counts: dict[tuple[str, str], int] = {}
+        self._block_starts: dict[int, str] = {}
+        if profile:
+            for label, index in program.labels.items():
+                self._block_starts[index] = label
+
+        self.metrics = Metrics()
+        self._decoded = self._predecode()
+
+    # ---------------------------------------------------------- registers
+    def _slot(self, reg: Reg) -> int:
+        slot = self._slots.get(reg)
+        if slot is None:
+            slot = len(self.regs)
+            self._slots[reg] = slot
+            self.regs.append(0.0 if reg.is_fp else 0)
+            self.ready.append(0)
+            self.from_load.append(False)
+            if not reg.virtual and reg.num == 30 and reg.kind == "i":
+                self.regs[slot] = self.stack_base
+        return slot
+
+    def reg_value(self, reg: Reg):
+        """Architectural value of *reg* (0 if never touched)."""
+        if reg.is_zero:
+            return 0.0 if reg.is_fp else 0
+        slot = self._slots.get(reg)
+        return self.regs[slot] if slot is not None else (
+            0.0 if reg.is_fp else 0)
+
+    # ------------------------------------------------------------- memory
+    def set_symbol(self, name: str, values) -> None:
+        """Set a data symbol's contents from a scalar or (nested) list."""
+        symbol = self.program.symbols[name]
+        flat = _flatten(values)
+        count = symbol.size_bytes // 8
+        if len(flat) > count:
+            raise ValueError(f"{name}: {len(flat)} values > {count} slots")
+        base = symbol.address // 8
+        convert = float if symbol.is_fp else int
+        for i, value in enumerate(flat):
+            self.memory[base + i] = convert(value)
+
+    def get_symbol(self, name: str):
+        """Current contents of a data symbol (flat list, or scalar)."""
+        symbol = self.program.symbols[name]
+        base = symbol.address // 8
+        count = symbol.size_bytes // 8
+        if count == 1 and not symbol.dims:
+            return self.memory[base]
+        return self.memory[base:base + count]
+
+    # ------------------------------------------------------------ decode
+    def _predecode(self):
+        decoded = []
+        zero_value_slot = None
+        for index, instr in enumerate(self.program.instructions):
+            code = _OPC[instr.op]
+            dest = self._slot(instr.dest) if instr.dest is not None else -1
+            if instr.dest is not None and instr.dest.is_zero:
+                # Writes to r31/f31 are discarded: redirect to scratch.
+                if zero_value_slot is None:
+                    scratch = Reg("i", 63, True)
+                    zero_value_slot = self._slot(scratch)
+                dest = zero_value_slot
+            srcs = tuple(self._slot(r) for r in instr.srcs)
+            # Zero registers read as constant 0: give them a pinned slot.
+            target = (self.program.labels[instr.label]
+                      if instr.is_branch else -1)
+            latency = self.config.op_latency[instr.op]
+            cls_field = _CLASS_FIELD[instr.info.opclass]
+            reads_dest = instr.info.reads_dest
+            decoded.append((code, dest, srcs, instr.imm, instr.offset,
+                            target, latency, cls_field, instr.is_spill,
+                            reads_dest))
+        return decoded
+
+    # -------------------------------------------------------------- run
+    def run(self, max_instructions: int = 200_000_000) -> Metrics:
+        m = self.metrics
+        config = self.config
+        regs = self.regs
+        ready = self.ready
+        from_load = self.from_load
+        memory = self.memory
+        decoded = self._decoded
+        n_instrs = len(decoded)
+        mispredict_penalty = config.branch_mispredict_penalty
+        profiling = self.profiling
+        block_starts = self._block_starts
+        current_block: Optional[str] = None
+
+        t = 0                   # current cycle
+        pc = 0
+        executed = 0
+        last_fetch_line = -1
+        last_fetch_page = -1
+        l1i = self.l1i
+        itlb = self.itlb
+        itlb_penalty = config.itlb.miss_penalty
+        # In-order multi-issue accounting: `slots_left` instructions may
+        # still issue in cycle `t`, of which `mem_left` memory ops.
+        # Width 1 (the paper's model) reduces to one bump per issue.
+        width = config.issue_width
+        mem_ports = config.mem_ports
+        perfect_icache = config.perfect_icache
+        slots_left = width
+        mem_left = mem_ports
+
+        class_counts = {"short_int": 0, "long_int": 0, "short_fp": 0,
+                        "long_fp": 0, "loads": 0, "stores": 0,
+                        "branches": 0}
+
+        while True:
+            if pc >= n_instrs:
+                raise SimulationError(f"pc {pc} out of range")
+            if executed >= max_instructions:
+                raise SimulationError("instruction limit exceeded "
+                                      f"({max_instructions})")
+            if profiling and pc in block_starts:
+                label = block_starts[pc]
+                self.block_counts[label] = self.block_counts.get(label, 0) + 1
+                if current_block is not None:
+                    edge = (current_block, label)
+                    self.edge_counts[edge] = self.edge_counts.get(edge, 0) + 1
+                current_block = label
+
+            # ----- instruction fetch (icache + itlb, line-memoized)
+            fetch_addr = pc << 2
+            line = fetch_addr >> 5
+            if perfect_icache:
+                pass
+            elif line != last_fetch_line:
+                last_fetch_line = line
+                page = fetch_addr >> 13
+                if page != last_fetch_page:
+                    last_fetch_page = page
+                    if not itlb.lookup(fetch_addr):
+                        m.icache_stall_cycles += itlb_penalty
+                        t += itlb_penalty
+                        slots_left = width
+                        mem_left = mem_ports
+                if not l1i.lookup(fetch_addr):
+                    extra = self._ifill_latency(fetch_addr)
+                    m.icache_stall_cycles += extra
+                    t += extra
+                    slots_left = width
+                    mem_left = mem_ports
+
+            (code, dest, srcs, imm, offset, target, latency, cls_field,
+             is_spill, reads_dest) = decoded[pc]
+            executed += 1
+            class_counts[cls_field] += 1
+
+            # ----- operand readiness / interlock attribution
+            start = t
+            stall_is_load = False
+            for s in srcs:
+                rt = ready[s]
+                if rt > start:
+                    start = rt
+                    stall_is_load = from_load[s]
+                elif rt == start and from_load[s] and start > t:
+                    stall_is_load = True
+            if reads_dest and dest >= 0:
+                rt = ready[dest]
+                if rt > start:
+                    start = rt
+                    stall_is_load = from_load[dest]
+            if start > t:
+                if stall_is_load:
+                    m.load_interlock_cycles += start - t
+                else:
+                    m.fixed_interlock_cycles += start - t
+                t = start
+                slots_left = width
+                mem_left = mem_ports
+
+            # ----- execute
+            if code <= 3:                        # LD, FLD, ST, FST
+                if mem_left == 0:        # one memory port per cycle
+                    t += 1
+                    slots_left = width
+                    mem_left = mem_ports
+                if code <= 1:                    # loads
+                    addr = regs[srcs[0]] + offset
+                    if addr < 0 or addr >= len(memory) << 3:
+                        raise SimulationError(
+                            f"load address {addr} out of range at pc {pc}")
+                    lat, stall = self._dload(addr, t)
+                    if stall:
+                        m.mshr_stall_cycles += stall
+                        m.load_interlock_cycles += stall
+                        t += stall
+                        slots_left = width
+                        mem_left = mem_ports
+                    regs[dest] = memory[addr >> 3]
+                    ready[dest] = t + lat
+                    from_load[dest] = True
+                    if is_spill:
+                        m.spill_loads += 1
+                else:                            # stores
+                    addr = regs[srcs[1]] + offset
+                    if addr < 0 or addr >= len(memory) << 3:
+                        raise SimulationError(
+                            f"store address {addr} out of range at pc {pc}")
+                    self._dstore(addr)
+                    memory[addr >> 3] = regs[srcs[0]]
+                    if is_spill:
+                        m.spill_stores += 1
+                mem_left -= 1
+                slots_left -= 1
+                if slots_left == 0:
+                    t += 1
+                    slots_left = width
+                    mem_left = mem_ports
+                pc += 1
+                continue
+            elif code <= 5:                      # LDI, FLDI
+                regs[dest] = imm
+                ready[dest] = t + 1
+                from_load[dest] = False
+                slots_left -= 1
+                if slots_left == 0:
+                    t += 1
+                    slots_left = width
+                    mem_left = mem_ports
+                pc += 1
+                continue
+            elif code <= 9:                      # BR, BEQ, BNE, HALT
+                if code == 6:                    # BR
+                    pc = target
+                    t += 2
+                    slots_left = width
+                    mem_left = mem_ports
+                    continue
+                if code == 9:                    # HALT
+                    t += 1
+                    break
+                value = regs[srcs[0]]
+                taken = (value == 0) if code == 7 else (value != 0)
+                correct = self.bpred.predict_and_update(pc, taken)
+                slots_left = width
+                mem_left = mem_ports
+                if correct:
+                    t += 2 if taken else 1
+                else:
+                    extra = 1 + mispredict_penalty
+                    t += extra
+                    m.branch_stall_cycles += mispredict_penalty
+                pc = target if taken else pc + 1
+                continue
+            elif code == 10:                     # NOP
+                slots_left -= 1
+                if slots_left == 0:
+                    t += 1
+                    slots_left = width
+                    mem_left = mem_ports
+                pc += 1
+                continue
+            else:
+                a = regs[srcs[0]] if srcs else None
+                b = regs[srcs[1]] if len(srcs) > 1 else imm
+                if code == 11:
+                    value = a + b
+                elif code == 12:
+                    value = a - b
+                elif code == 13:
+                    value = a * b
+                elif code == 14 or code == 15:
+                    if b == 0:
+                        raise SimulationError(f"division by zero at pc {pc}")
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    value = q if code == 14 else a - q * b
+                elif code == 16:
+                    value = a & b
+                elif code == 17:
+                    value = a | b
+                elif code == 18:
+                    value = a ^ b
+                elif code == 19:
+                    value = (a << b) & _MASK64
+                    if value >= 1 << 63:
+                        value -= 1 << 64
+                elif code == 20:
+                    value = (a & _MASK64) >> b
+                elif code == 21:
+                    value = a >> b
+                elif code == 22:
+                    value = 1 if a == b else 0
+                elif code == 23:
+                    value = 1 if a != b else 0
+                elif code == 24:
+                    value = 1 if a < b else 0
+                elif code == 25:
+                    value = 1 if a <= b else 0
+                elif code == 26:
+                    value = a
+                elif code == 27:
+                    value = a + b
+                elif code == 28:
+                    value = a - b
+                elif code == 29:
+                    value = a * b
+                elif code == 30:
+                    if b == 0.0:
+                        raise SimulationError(f"fp division by zero at {pc}")
+                    value = a / b
+                elif code == 31:
+                    value = 1 if a == b else 0
+                elif code == 32:
+                    value = 1 if a != b else 0
+                elif code == 33:
+                    value = 1 if a < b else 0
+                elif code == 34:
+                    value = 1 if a <= b else 0
+                elif code == 35:
+                    value = a
+                elif code == 36:
+                    value = -a
+                elif code == 38:
+                    value = float(a)
+                elif code == 39:
+                    value = int(a)
+                elif code == 40 or code == 41:   # CMOVEQ/CMOVNE
+                    cond_hold = (a == 0) if code == 40 else (a != 0)
+                    value = b if cond_hold else regs[dest]
+                elif code == 42 or code == 43:   # FCMOVEQ/FCMOVNE
+                    cond_hold = (a == 0) if code == 42 else (a != 0)
+                    value = b if cond_hold else regs[dest]
+                else:
+                    raise SimulationError(f"bad opcode {code} at pc {pc}")
+                regs[dest] = value
+                ready[dest] = t + latency
+                from_load[dest] = False
+                slots_left -= 1
+                if slots_left == 0:
+                    t += 1
+                    slots_left = width
+                    mem_left = mem_ports
+                pc += 1
+                continue
+
+        m.total_cycles = t
+        m.instructions = executed
+        m.short_int += class_counts["short_int"]
+        m.long_int += class_counts["long_int"]
+        m.short_fp += class_counts["short_fp"]
+        m.long_fp += class_counts["long_fp"]
+        m.loads += class_counts["loads"]
+        m.stores += class_counts["stores"]
+        m.branches += class_counts["branches"]
+        m.l1d = self.l1d.stats
+        m.l1i = self.l1i.stats
+        m.l2 = self.l2.stats
+        m.l3 = self.l3.stats
+        m.dtlb_misses = self.dtlb.misses
+        m.itlb_misses = self.itlb.misses
+        m.branch_mispredicts = self.bpred.mispredicts
+        return m
+
+    # ------------------------------------------------------ memory timing
+    def _stochastic_latency(self) -> int:
+        """Load latency under the Kerns-Eggers stochastic model."""
+        config = self.config
+        state = self._rng_state
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        unit = state / 0x80000000
+        if unit < config.stochastic_hit_rate:
+            self._rng_state = state
+            self.l1d.stats.accesses += 1
+            return config.l1d.latency
+        # Miss latency: normal approximation from four uniforms.
+        total = 0.0
+        for _ in range(4):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            total += state / 0x80000000
+        self._rng_state = state
+        gauss = (total - 2.0) * 1.7320508
+        latency = config.stochastic_miss_mean +             config.stochastic_miss_std * gauss
+        self.l1d.stats.accesses += 1
+        self.l1d.stats.misses += 1
+        return max(int(round(latency)), config.l1d.latency + 1)
+
+    def _dload(self, addr: int, now: int) -> tuple[int, int]:
+        """(latency, issue-stall) for a data load at cycle *now*."""
+        config = self.config
+        if config.memory_model == "stochastic":
+            return self._stochastic_latency(), 0
+        latency_extra = 0
+        if not self.dtlb.lookup(addr):
+            latency_extra += config.dtlb.miss_penalty
+
+        line = addr >> 5
+        mshr = self._mshr
+        inflight = mshr.get(line)
+        if inflight is not None and inflight > now:
+            # Merge with the outstanding miss: data forwarded on fill.
+            self.l1d.lookup(addr)   # counts the access (tag already filled)
+            return max(inflight - now, config.l1d.latency) + latency_extra, 0
+
+        if self.l1d.lookup(addr):
+            return config.l1d.latency + latency_extra, 0
+
+        # L1 miss: need an MSHR.
+        stall = 0
+        active = [c for c in mshr.values() if c > now]
+        if len(active) >= config.mshr_entries:
+            earliest = min(active)
+            stall = earliest - now
+            now = earliest
+        if len(mshr) > 64:
+            for stale in [ln for ln, c in mshr.items() if c <= now]:
+                del mshr[stale]
+
+        if self.l2.lookup(addr):
+            latency = config.l2.latency
+        elif self.l3.lookup(addr):
+            latency = config.l3.latency
+        else:
+            latency = config.memory_latency
+        latency += latency_extra
+        mshr[line] = now + latency
+        return latency, stall
+
+    def _dstore(self, addr: int) -> None:
+        """Write-through store: update lower-level tags, no-allocate L1."""
+        if self.config.memory_model == "stochastic":
+            return
+        if not self.dtlb.lookup(addr):
+            pass  # store TLB misses absorbed by the write buffer
+        if not self.l1d.contains(addr):
+            # No-write-allocate L1; allocate in L2 (write-back there).
+            self.l2.lookup(addr)
+        # If the line is present in L1 the write updates it in place.
+
+    def _ifill_latency(self, addr: int) -> int:
+        """Extra fetch cycles beyond the L1I pipeline on an I-miss."""
+        config = self.config
+        if self.l2.lookup(addr):
+            return config.l2.latency - config.l1i.latency
+        if self.l3.lookup(addr):
+            return config.l3.latency - config.l1i.latency
+        return config.memory_latency - config.l1i.latency
+
+
+def _flatten(values) -> list:
+    if isinstance(values, (int, float)):
+        return [values]
+    flat: list = []
+    for item in values:
+        if isinstance(item, (list, tuple)):
+            flat.extend(_flatten(item))
+        else:
+            flat.append(item)
+    return flat
+
+
+def simulate(program: MachineProgram,
+             config: MachineConfig = DEFAULT_CONFIG,
+             arrays: Optional[dict] = None,
+             max_instructions: int = 200_000_000) -> Metrics:
+    """Convenience wrapper: run *program* and return its metrics."""
+    sim = Simulator(program, config=config)
+    for name, values in (arrays or {}).items():
+        sim.set_symbol(name, values)
+    return sim.run(max_instructions=max_instructions)

@@ -1,0 +1,15 @@
+"""Compiler optimizations: classic cleanups and the ILP transformations."""
+
+from .astutils import clone_expr, clone_stmt
+from .constfold import fold_constants
+from .copyprop import propagate_copies
+from .dce import eliminate_dead_code
+from .predication import predicate_program
+from .unroll import UnrollStats, unroll_program
+
+__all__ = [
+    "clone_expr", "clone_stmt",
+    "fold_constants", "propagate_copies", "eliminate_dead_code",
+    "predicate_program",
+    "UnrollStats", "unroll_program",
+]

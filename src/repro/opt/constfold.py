@@ -1,0 +1,81 @@
+"""Block-local constant folding and immediate propagation.
+
+Tracks registers holding known constants inside each basic block,
+folds fully-constant ALU operations into ``LDI``, and rewrites
+register operands into immediate form where the ISA allows a literal
+(second source of integer operate instructions).  Constants do not
+propagate across block boundaries (loops make that a dataflow problem;
+the cleanups that matter here — address arithmetic from lowering — are
+block-local anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import Cfg
+from ..isa import Instruction, Reg
+
+_FOLDABLE = {
+    "ADD": lambda a, b: a + b,
+    "SUB": lambda a, b: a - b,
+    "MUL": lambda a, b: a * b,
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "SLL": lambda a, b: a << b,
+    "SRA": lambda a, b: a >> b,
+    "CMPEQ": lambda a, b: int(a == b),
+    "CMPNE": lambda a, b: int(a != b),
+    "CMPLT": lambda a, b: int(a < b),
+    "CMPLE": lambda a, b: int(a <= b),
+}
+
+_IMM_MIN, _IMM_MAX = -32768, 32767
+
+
+def fold_constants(cfg: Cfg) -> int:
+    """Fold/propagate constants in every block; return change count."""
+    changed = 0
+    for block in cfg:
+        consts: dict[Reg, int] = {}
+        new_instrs: list[Instruction] = []
+        for instr in block.instrs:
+            instr = _rewrite(instr, consts)
+            if instr.op == "LDI" and isinstance(instr.imm, int):
+                consts[instr.dest] = instr.imm
+            else:
+                for reg in instr.defs():
+                    consts.pop(reg, None)
+            new_instrs.append(instr)
+        if new_instrs != block.instrs:
+            changed += 1
+        block.instrs = new_instrs
+    return changed
+
+
+def _rewrite(instr: Instruction, consts: dict[Reg, int]) -> Instruction:
+    op = instr.op
+    if op not in _FOLDABLE or instr.dest is None or instr.dest.is_fp:
+        return instr
+    values: list[Optional[int]] = []
+    for reg in instr.srcs:
+        if reg.is_zero:
+            values.append(0)
+        else:
+            values.append(consts.get(reg))
+    if instr.imm is not None:
+        values.append(instr.imm)
+
+    if len(values) == 2 and values[0] is not None and values[1] is not None:
+        result = _FOLDABLE[op](values[0], values[1])
+        if _IMM_MIN <= result <= _IMM_MAX or op not in ("SLL",):
+            return Instruction("LDI", dest=instr.dest, imm=result)
+
+    # Register -> immediate rewriting for the second source.
+    if (len(instr.srcs) == 2 and instr.imm is None
+            and instr.info.imm_ok and values[1] is not None
+            and _IMM_MIN <= values[1] <= _IMM_MAX):
+        return Instruction(op, dest=instr.dest, srcs=(instr.srcs[0],),
+                           imm=values[1], comment=instr.comment)
+    return instr

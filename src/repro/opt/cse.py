@@ -1,0 +1,82 @@
+"""Local common-subexpression elimination by value numbering (optional).
+
+Within each basic block, pure instructions computing a value already
+computed earlier are rewritten to register copies (cleaned up by copy
+propagation + DCE).  Loads participate too: a load is a repeat of an
+earlier one when nothing that may alias it has been stored in between
+(tracked with a per-block memory generation that conflicting stores
+bump).
+
+Commutative operations are normalized so ``a+b`` and ``b+a`` share a
+value number.  Off by default, like LICM — see
+`benchmarks/test_ablation_extra_opts.py`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import Cfg
+from ..isa import COMMUTATIVE_OPS, Instruction, Reg
+
+
+def eliminate_common_subexpressions(cfg: Cfg) -> int:
+    """Run local value numbering on every block; return rewrite count."""
+    rewritten = 0
+    for block in cfg:
+        rewritten += _value_number_block(block.instrs)
+        block.instrs = [i for i in block.instrs if i is not None]
+    return rewritten
+
+
+def _value_number_block(instrs: list) -> int:
+    value_of: dict[Reg, int] = {}     # register -> value number
+    expr_table: dict[tuple, tuple[int, Reg]] = {}
+    next_value = iter(range(1, 1 << 30))
+    mem_generation = 0
+    rewritten = 0
+
+    def number(reg: Reg) -> int:
+        vn = value_of.get(reg)
+        if vn is None:
+            vn = next(next_value)
+            value_of[reg] = vn
+        return vn
+
+    for index, instr in enumerate(instrs):
+        if instr.is_branch or instr.op in ("HALT", "NOP"):
+            continue
+        if instr.is_store:
+            # Conservatively invalidate loads that may see this store.
+            mem_generation += 1
+            continue
+        if instr.info.reads_dest or instr.dest is None:
+            for reg in instr.defs():
+                value_of.pop(reg, None)
+            continue
+
+        src_numbers = tuple(number(r) for r in instr.srcs)
+        if instr.op in COMMUTATIVE_OPS and len(src_numbers) == 2 \
+                and instr.imm is None:
+            src_numbers = tuple(sorted(src_numbers))
+        if instr.is_load:
+            key = ("load", instr.op, src_numbers, instr.offset,
+                   mem_generation)
+        else:
+            key = (instr.op, src_numbers, instr.imm, instr.offset)
+
+        hit = expr_table.get(key)
+        if hit is not None:
+            vn, holder = hit
+            if value_of.get(holder) == vn and holder is not instr.dest:
+                # Replace with a copy of the previously computed value.
+                move_op = "FMOV" if instr.dest.is_fp else "MOV"
+                instrs[index] = Instruction(move_op, dest=instr.dest,
+                                            srcs=(holder,))
+                value_of[instr.dest] = vn
+                rewritten += 1
+                continue
+        vn = next(next_value)
+        value_of[instr.dest] = vn
+        expr_table[key] = (vn, instr.dest)
+    return rewritten

@@ -1,0 +1,97 @@
+"""Loop-invariant code motion (optional pass).
+
+Hoists computations whose operands do not change across iterations out
+of natural loops into the preceding block.  Kept deliberately
+conservative so hoisting is unconditionally safe even though the
+target block executes when the loop runs zero times (our loops are
+rotated, so the "preheader" is the guard block):
+
+* only instructions in the **loop header** are considered (the header
+  dominates the whole loop body);
+* only non-trapping, non-memory operations are hoisted (constant
+  materialization and ALU arithmetic — the main cost in lowered loop
+  bodies is per-iteration constants and invariant address parts);
+* the destination must have exactly one definition inside the loop and
+  must not be live into the header (hoisting must not clobber a value
+  another path still needs);
+* every register operand must be defined outside the loop (or by an
+  instruction hoisted earlier — the pass iterates to fixpoint).
+
+This pass is *off by default*: the paper's evaluation is calibrated
+without it, and `benchmarks/test_ablation_extra_opts.py` measures its
+effect separately.
+"""
+
+from __future__ import annotations
+
+from ..ir import Cfg, find_loops, liveness
+from ..isa import Instruction
+
+_TRAPPING = frozenset({"DIVQ", "REMQ", "FDIV"})
+
+
+def _hoistable_shape(instr: Instruction) -> bool:
+    if instr.is_mem or instr.is_branch:
+        return False
+    if instr.op in _TRAPPING or instr.op in ("HALT", "NOP"):
+        return False
+    if instr.info.reads_dest:
+        return False
+    return instr.dest is not None
+
+
+def hoist_loop_invariants(cfg: Cfg) -> int:
+    """Hoist invariants out of every natural loop; return hoist count."""
+    hoisted_total = 0
+    loops = find_loops(cfg)
+    if not loops:
+        return 0
+    live_in, _ = liveness(cfg)
+    preds_map = cfg.predecessors()
+
+    # Process inner loops first (their preheaders may lie in outer
+    # loops, letting the outer pass hoist further).
+    ordered = sorted(loops.values(), key=lambda lp: -lp.depth)
+    for loop in ordered:
+        header = cfg.blocks[loop.header]
+        outside_preds = [p for p in preds_map[loop.header]
+                         if p not in loop.body]
+        if len(outside_preds) != 1:
+            continue
+        preheader = cfg.blocks[outside_preds[0]]
+
+        # Registers defined anywhere in the loop (and how many times).
+        def_counts: dict = {}
+        for label in loop.body:
+            for instr in cfg.blocks[label].instrs:
+                for reg in instr.defs():
+                    def_counts[reg] = def_counts.get(reg, 0) + 1
+
+        header_live_in = live_in[loop.header]
+        changed = True
+        while changed:
+            changed = False
+            for index, instr in enumerate(header.instrs):
+                if not _hoistable_shape(instr):
+                    continue
+                dest = instr.dest
+                if def_counts.get(dest, 0) != 1:
+                    continue
+                if dest in header_live_in:
+                    continue
+                if any(def_counts.get(reg, 0) > 0 for reg in instr.uses()):
+                    continue
+                # Hoist: insert before the preheader's terminator.
+                del header.instrs[index]
+                term = preheader.terminator
+                position = (len(preheader.instrs) - 1
+                            if term is not None else len(preheader.instrs))
+                preheader.instrs.insert(position, instr)
+                def_counts[dest] = 0
+                hoisted_total += 1
+                changed = True
+                break
+        # Liveness shifts as values move; recompute for later loops.
+        if hoisted_total:
+            live_in, _ = liveness(cfg)
+    return hoisted_total

@@ -1,0 +1,19 @@
+"""Instruction schedulers: balanced, traditional, and trace scheduling."""
+
+from .block import schedule_block, schedule_cfg
+from .list_scheduler import (
+    estimate_issue_cycles,
+    list_schedule,
+    list_schedule_with_weights,
+    priorities,
+)
+from .trace import ProfileData, TraceStats, form_traces, trace_schedule
+from .weights import BalancedWeights, TraditionalWeights, WeightModel
+
+__all__ = [
+    "schedule_block", "schedule_cfg",
+    "estimate_issue_cycles", "list_schedule", "list_schedule_with_weights",
+    "priorities",
+    "ProfileData", "TraceStats", "form_traces", "trace_schedule",
+    "BalancedWeights", "TraditionalWeights", "WeightModel",
+]

@@ -1,0 +1,28 @@
+"""Basic-block scheduling driver: reorder every block of a CFG."""
+
+from __future__ import annotations
+
+from ..ir import Cfg, build_dag
+from .list_scheduler import list_schedule
+from .weights import WeightModel
+
+
+def schedule_block(instrs, model: WeightModel):
+    """Return *instrs* reordered by the list scheduler."""
+    if len(instrs) <= 1:
+        return list(instrs)
+    dag = build_dag(instrs)
+    order = list_schedule(dag, model)
+    return [instrs[i] for i in order]
+
+
+def schedule_cfg(cfg: Cfg, model: WeightModel) -> Cfg:
+    """Schedule every basic block of *cfg* in place and return it.
+
+    The terminator (branch/HALT) is pinned to the end by the ORDER arcs
+    :func:`repro.ir.dag.build_dag` adds, so control flow is preserved.
+    """
+    for block in cfg:
+        block.instrs = schedule_block(block.instrs, model)
+    cfg.verify()
+    return cfg

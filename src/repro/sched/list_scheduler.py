@@ -1,0 +1,139 @@
+"""Top-down list scheduler with the paper's priority and tie-breakers.
+
+Priority of an instruction = its weight + the maximum priority of its
+DAG successors (paper section 4.2).  Ties are broken, in order, by:
+
+1. register pressure -- prefer the instruction with the largest
+   (consumed - defined) register count;
+2. exposure -- prefer the instruction that makes the most successors
+   ready;
+3. original program order.
+
+The scheduler is shared by both weight models and by the trace
+scheduler; it returns a permutation of node indices.
+"""
+
+from __future__ import annotations
+
+from ..ir.dag import Dag
+from .weights import WeightModel
+
+
+def priorities(dag: Dag, weights: list[float]) -> list[float]:
+    """Bottom-up longest-path priorities from instruction weights."""
+    n = len(dag.instrs)
+    prio = [0.0] * n
+    for i in range(n - 1, -1, -1):
+        best = 0.0
+        for j in dag.succs[i]:
+            if prio[j] > best:
+                best = prio[j]
+        prio[i] = weights[i] + best
+    return prio
+
+
+def list_schedule(dag: Dag, model: WeightModel) -> list[int]:
+    """Schedule *dag* with *model*'s weights; return the new node order."""
+    weights = model.weights(dag)
+    return list_schedule_with_weights(dag, weights)
+
+
+#: When this many values of one register bank are simultaneously live,
+#: the scheduler stops picking instructions that grow that bank further
+#: (if any other ready instruction exists).  Keeps aggressive load
+#: hoisting from overwhelming the 28 allocatable registers per bank.
+PRESSURE_LIMIT = 24
+
+
+def list_schedule_with_weights(dag: Dag, weights: list[float]) -> list[int]:
+    n = len(dag.instrs)
+    if n == 0:
+        return []
+    prio = priorities(dag, weights)
+
+    unscheduled_preds = [len(dag.preds[i]) for i in range(n)]
+    pressure_delta = [len(ins.uses()) - len(ins.defs())
+                      for ins in dag.instrs]
+    ready = [i for i in range(n) if unscheduled_preds[i] == 0]
+    order: list[int] = []
+
+    # Approximate per-bank liveness: a value is live from the node that
+    # defines it until its last in-block consumer is scheduled.
+    remaining_uses: dict = {}
+    defined = set()
+    for ins in dag.instrs:
+        for reg in ins.uses():
+            remaining_uses[reg] = remaining_uses.get(reg, 0) + 1
+        defined.update(ins.defs())
+    live = {"i": 0, "f": 0}
+    for reg in remaining_uses:
+        if reg not in defined:            # live into the block
+            live[reg.kind] += 1
+
+    def grows_hot_bank(node: int) -> bool:
+        ins = dag.instrs[node]
+        for reg in ins.defs():
+            bank = reg.kind
+            if live[bank] < PRESSURE_LIMIT:
+                continue
+            freed = sum(1 for use in set(ins.uses())
+                        if use.kind == bank and remaining_uses[use] == 1)
+            if freed < 1:
+                return True
+        return False
+
+    while ready:
+        best = None
+        best_key = None
+        for node in ready:
+            exposed = sum(1 for succ in dag.succs[node]
+                          if unscheduled_preds[succ] == 1)
+            key = (not grows_hot_bank(node), prio[node],
+                   pressure_delta[node], exposed, -node)
+            if best_key is None or key > best_key:
+                best_key = key
+                best = node
+        ready.remove(best)
+        order.append(best)
+        ins = dag.instrs[best]
+        for reg in set(ins.uses()):
+            count = remaining_uses.get(reg, 0)
+            if count == 1:
+                live[reg.kind] -= 1
+            remaining_uses[reg] = count - 1
+        for reg in ins.defs():
+            if remaining_uses.get(reg, 0) > 0:
+                live[reg.kind] += 1
+        for succ in dag.succs[best]:
+            unscheduled_preds[succ] -= 1
+            if unscheduled_preds[succ] == 0:
+                ready.append(succ)
+
+    if len(order) != n:
+        raise RuntimeError("DAG has a cycle; scheduling failed")
+    return order
+
+
+def estimate_issue_cycles(dag: Dag, order: list[int],
+                          latencies: list[float]) -> float:
+    """Static cycle estimate for a schedule on the single-issue model.
+
+    Each instruction issues at ``max(prev_issue + 1, operand-ready)``
+    where a true/memory dependence makes the operand ready
+    ``latency(producer)`` cycles after the producer issues.  Used by
+    tests and the synthetic-DAG benchmarks, not by the real simulator.
+    """
+    issue: dict[int, float] = {}
+    clock = 0.0
+    for node in order:
+        earliest = clock
+        for pred, kind in dag.preds[node].items():
+            if kind in ("true", "mem"):
+                ready = issue[pred] + latencies[pred]
+            else:
+                ready = issue[pred] + 1
+            if ready > earliest:
+                earliest = ready
+        issue[node] = earliest
+        clock = earliest + 1
+    return clock

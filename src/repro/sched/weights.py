@@ -1,0 +1,192 @@
+"""Instruction-weight models: traditional (fixed) and balanced.
+
+Weights drive the list scheduler's priorities (paper section 4.2):
+
+* the **traditional** model gives every instruction its fixed
+  architectural latency, loads optimistically at the L1-hit value
+  (Table 3) -- the blocking-processor assumption;
+* the **balanced** model (Kerns & Eggers, PLDI 1993) replaces each
+  load's weight with a measure of the *load-level parallelism*
+  available to hide it, computed from the code DAG (section 2);
+* with **locality analysis**, loads marked ``HIT`` keep the optimistic
+  weight (their latency estimate is exact) and drop out of the
+  balancing set, freeing independent instructions for loads that miss
+  (section 3.3).
+
+Balanced weight computation, per DAG:
+
+1. every balanced load starts at 1 (its issue slot);
+2. every *contributor* (any instruction outside the balancing set)
+   distributes one unit among the balanced loads it is independent of:
+   loads connected by a dependence path (in series) compete for the
+   contributor and share it equally, while loads in parallel can all be
+   covered at once -- formally, the unit goes to each connected
+   component of the comparability graph over the independent-load set,
+   split evenly inside the component;
+3. the result is floored at the L1-hit latency and capped at the
+   50-cycle maximum memory latency (paper footnote 1).
+
+On the paper's Figure 1 DAG this yields weights 3 for the parallel
+loads ``L0, L1`` and 2 for the serial chain ``L2 -> L3``.
+"""
+
+from __future__ import annotations
+
+from ..ir.dag import Dag
+from ..isa import Instruction, Locality
+from ..machine.config import DEFAULT_CONFIG, MachineConfig
+
+
+class WeightModel:
+    """Maps DAG nodes to scheduling weights."""
+
+    name = "abstract"
+
+    def weights(self, dag: Dag) -> list[float]:
+        raise NotImplementedError
+
+
+class TraditionalWeights(WeightModel):
+    """Fixed, architecturally optimistic weights (blocking assumption)."""
+
+    name = "traditional"
+
+    def __init__(self, config: MachineConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    def weights(self, dag: Dag) -> list[float]:
+        table = self.config.op_latency
+        return [float(table[ins.op]) for ins in dag.instrs]
+
+
+class BalancedWeights(WeightModel):
+    """Kerns–Eggers balanced load weights.
+
+    Args:
+        config: machine model (supplies fixed latencies, the hit floor
+            and the 50-cycle cap).
+        use_locality: honour ``HIT`` locality hints -- hit loads keep
+            the optimistic weight and become contributors.
+        component_sharing: the paper-faithful sharing rule.  When
+            False (ablation), a contributor is split uniformly over
+            *all* loads it could help, ignoring series/parallel
+            structure.
+        cap: override the weight cap (None = no cap; ablation).
+    """
+
+    name = "balanced"
+
+    def __init__(self, config: MachineConfig = DEFAULT_CONFIG,
+                 use_locality: bool = True,
+                 component_sharing: bool = True,
+                 cap: float | None = None) -> None:
+        self.config = config
+        self.use_locality = use_locality
+        self.component_sharing = component_sharing
+        self.cap = float(config.max_load_weight) if cap is None else cap
+
+    def _in_balance_set(self, instr: Instruction) -> bool:
+        if not instr.is_load:
+            return False
+        if self.use_locality and instr.locality is Locality.HIT:
+            return False
+        return True
+
+    def weights(self, dag: Dag) -> list[float]:
+        table = self.config.op_latency
+        result = [float(table[ins.op]) for ins in dag.instrs]
+        loads = [i for i, ins in enumerate(dag.instrs)
+                 if self._in_balance_set(ins)]
+        if not loads:
+            return result
+
+        n = len(dag.instrs)
+        reach = dag.reachability()
+        load_pos = {node: pos for pos, node in enumerate(loads)}
+        contribution = [0.0] * len(loads)
+
+        # Bitmask of balanced loads independent of each instruction.
+        load_mask_bits = 0
+        for node in loads:
+            load_mask_bits |= 1 << node
+
+        # reach_into[j] = mask of nodes that reach j; derive from reach.
+        reach_into = [0] * n
+        for i in range(n):
+            ri = reach[i]
+            bit = 1 << i
+            j = ri
+            while j:
+                low = j & -j
+                reach_into[low.bit_length() - 1] |= bit
+                j ^= low
+        component_cache: dict[int, list[list[int]]] = {}
+
+        for i in range(n):
+            if i in load_pos:
+                continue
+            related = reach[i] | reach_into[i] | (1 << i)
+            indep_mask = load_mask_bits & ~related
+            if not indep_mask:
+                continue
+            if not self.component_sharing:
+                count = bin(indep_mask).count("1")
+                share = 1.0 / count
+                m = indep_mask
+                while m:
+                    low = m & -m
+                    contribution[load_pos[low.bit_length() - 1]] += share
+                    m ^= low
+                continue
+            components = component_cache.get(indep_mask)
+            if components is None:
+                components = _comparability_components(indep_mask, reach)
+                component_cache[indep_mask] = components
+            for component in components:
+                share = 1.0 / len(component)
+                for node in component:
+                    contribution[load_pos[node]] += share
+
+        floor = float(self.config.load_hit_latency)
+        for pos, node in enumerate(loads):
+            weight = 1.0 + contribution[pos]
+            weight = max(floor, weight)
+            weight = min(self.cap, weight)
+            result[node] = weight
+        return result
+
+
+def _comparability_components(mask: int, reach: list[int]) -> list[list[int]]:
+    """Connected components of the comparability graph over ``mask``.
+
+    Two nodes are adjacent when a dependence path joins them (one
+    reaches the other); components group loads that are (transitively)
+    in series and therefore compete for the same hiding instructions.
+    """
+    nodes: list[int] = []
+    m = mask
+    while m:
+        low = m & -m
+        nodes.append(low.bit_length() - 1)
+        m ^= low
+
+    parent = {node: node for node in nodes}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for idx, a in enumerate(nodes):
+        reach_a = reach[a]
+        for b in nodes[idx + 1:]:
+            if (reach_a >> b) & 1:
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[ra] = rb
+
+    groups: dict[int, list[int]] = {}
+    for node in nodes:
+        groups.setdefault(find(node), []).append(node)
+    return list(groups.values())

@@ -1,0 +1,94 @@
+"""Parametric kernel generator for sensitivity studies.
+
+Generates mini-language programs with controlled structure so that the
+drivers of balanced scheduling's advantage can be swept directly:
+
+* ``loads_per_iteration`` — how much load-level parallelism each loop
+  body offers;
+* ``flops_per_load`` — how much independent arithmetic exists to hide
+  latency with;
+* ``array_kb`` — working-set size, which selects where in the memory
+  hierarchy loads are satisfied (L1 / L2 / L3);
+* ``serial_chain`` — whether the arithmetic forms one dependent chain
+  (hostile to any scheduler) or independent trees.
+
+Used by ``benchmarks/test_sensitivity.py`` to draw the paper's implicit
+"more parallelism -> bigger balanced win" curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    loads_per_iteration: int = 4
+    flops_per_load: int = 2
+    array_kb: int = 64
+    serial_chain: bool = False
+    sweeps: int = 2
+
+    def describe(self) -> str:
+        shape = "serial" if self.serial_chain else "parallel"
+        return (f"{self.loads_per_iteration} loads/iter, "
+                f"{self.flops_per_load} flops/load, "
+                f"{self.array_kb} KB, {shape}")
+
+
+def generate_kernel(spec: KernelSpec) -> str:
+    """Emit a mini-language program matching *spec*.
+
+    The kernel sweeps ``loads_per_iteration`` arrays with stride-1
+    accesses; each loaded value feeds ``flops_per_load`` multiply-adds,
+    either independently (wide trees) or chained serially.
+    """
+    if spec.loads_per_iteration < 1:
+        raise ValueError("need at least one load per iteration")
+    elements = max(spec.array_kb * 1024 // 8 // spec.loads_per_iteration,
+                   64)
+    # Keep element counts power-of-two-ish for cheap addressing.
+    size = 1
+    while size < elements:
+        size *= 2
+
+    arrays = [f"SRC{k}" for k in range(spec.loads_per_iteration)]
+    decls = "\n".join(f"array {name}[{size}] : float;" for name in arrays)
+    inits = "\n".join(
+        f"        {name}[i] = float(i % {61 + 2 * k}) * 0.01;"
+        for k, name in enumerate(arrays))
+
+    terms = []
+    for k, name in enumerate(arrays):
+        value = f"{name}[i]"
+        for f in range(spec.flops_per_load):
+            value = f"({value} * 0.{5 + (f + k) % 4} + {k}.125)"
+        terms.append(value)
+    if spec.serial_chain:
+        body = "        acc = acc"
+        for term in terms:
+            body += f";\n        acc = acc * 0.5 + {term}"
+        body += ";\n        OUT[i] = acc;"
+    else:
+        joined = " + ".join(terms)
+        body = f"        OUT[i] = {joined};"
+
+    return f"""
+{decls}
+array OUT[{size}] : float;
+var n : int = {size};
+var sweeps : int = {spec.sweeps};
+var acc : float = 0.0;
+
+func main() {{
+    var i : int; var t : int;
+    for (i = 0; i < n; i = i + 1) {{
+{inits}
+    }}
+    for (t = 0; t < sweeps; t = t + 1) {{
+        for (i = 0; i < n; i = i + 1) {{
+{body}
+        }}
+    }}
+}}
+"""

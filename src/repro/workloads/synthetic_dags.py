@@ -1,0 +1,141 @@
+"""Parametric synthetic code-DAG generators.
+
+Scheduler-level microbenchmarks and property tests need DAGs with
+controlled shape — load count, series/parallel structure, amount of
+independent work — without going through the full compiler.  These
+generators build such DAGs directly, deterministically from a seed
+(a linear-congruential generator; no global random state).
+
+The shapes mirror the situations the paper reasons about:
+
+* :func:`figure1_dag` — the paper's Figure 1 (two parallel loads, one
+  serial load chain, shared independent instructions);
+* :func:`parallel_loads_dag` — k independent load-use chains plus m
+  independent ALU instructions (high load-level parallelism);
+* :func:`serial_loads_dag` — a chain of dependent loads (minimal
+  load-level parallelism);
+* :func:`random_dag` — layered random DAGs for property testing.
+"""
+
+from __future__ import annotations
+
+from ..ir.dag import Dag, TRUE, build_dag
+from ..isa import Instruction, MemRef, Reg
+
+
+def _vreg(index: int, kind: str = "i") -> Reg:
+    return Reg(kind, index, virtual=True)
+
+
+def _alu(dest: int, src: int) -> Instruction:
+    return Instruction("ADD", dest=_vreg(dest), srcs=(_vreg(src),), imm=1)
+
+
+def _load(dest: int, base: int, symbol: str = "A",
+          element: int = 0) -> Instruction:
+    return Instruction("LD", dest=_vreg(dest), srcs=(_vreg(base),),
+                       offset=8 * element,
+                       mem=MemRef("data", symbol, affine=({}, element)))
+
+
+def figure1_dag() -> Dag:
+    """The paper's Figure 1 DAG.
+
+    Node layout: 0 = X0 (root), 1 = L0, 2 = L1, 3 = L2, 4 = L3,
+    5 = X1, 6 = X2, 7 = X3 (sink).  Balanced weights must come out as
+    L0 = L1 = 3 and L2 = L3 = 2.
+    """
+    nodes = [
+        _alu(100, 99),        # X0
+        _load(101, 100),      # L0
+        _load(102, 100),      # L1
+        _load(103, 100),      # L2
+        _load(104, 103),      # L3 (depends on L2)
+        _alu(105, 100),       # X1
+        _alu(106, 100),       # X2
+        _alu(107, 101),       # X3
+    ]
+    dag = Dag(nodes)
+    for src, dst in ((0, 1), (0, 2), (0, 3), (0, 5), (0, 6), (3, 4),
+                     (1, 7), (2, 7), (4, 7)):
+        dag.add_edge(src, dst, TRUE)
+    return dag
+
+
+def parallel_loads_dag(n_loads: int, n_alu: int) -> Dag:
+    """n independent loads, each with one consumer, plus free ALU work."""
+    instrs: list[Instruction] = []
+    reg = 0
+    base = Instruction("LDI", dest=_vreg(9000), imm=64)
+    instrs.append(base)
+    for i in range(n_loads):
+        instrs.append(_load(reg, 9000, element=i))
+        reg += 1
+    for i in range(n_loads):
+        instrs.append(Instruction("ADD", dest=_vreg(1000 + i),
+                                  srcs=(_vreg(i),), imm=1))
+    for i in range(n_alu):
+        instrs.append(Instruction("ADD", dest=_vreg(2000 + i),
+                                  srcs=(_vreg(9000),), imm=i))
+    return build_dag(instrs)
+
+
+def serial_loads_dag(n_loads: int, n_alu: int) -> Dag:
+    """A pointer-chase: each load's address depends on the previous."""
+    instrs: list[Instruction] = []
+    instrs.append(Instruction("LDI", dest=_vreg(9000), imm=64))
+    prev = 9000
+    for i in range(n_loads):
+        instrs.append(Instruction(
+            "LD", dest=_vreg(i), srcs=(_vreg(prev),), offset=0,
+            mem=MemRef("data", "chain", affine=None)))
+        prev = i
+    for i in range(n_alu):
+        instrs.append(Instruction("ADD", dest=_vreg(2000 + i),
+                                  srcs=(_vreg(9000),), imm=i))
+    return build_dag(instrs)
+
+
+class _Lcg:
+    """Deterministic linear-congruential generator."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed & 0x7FFFFFFF or 1
+
+    def next(self, bound: int) -> int:
+        self.state = (self.state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self.state % bound
+
+
+def random_dag(n_instrs: int, seed: int = 1,
+               load_fraction: float = 0.3,
+               edge_density: float = 0.15) -> Dag:
+    """A layered random DAG of loads and ALU instructions.
+
+    Every instruction depends on a random subset of earlier results,
+    so the DAG is connected enough to be interesting but always
+    acyclic.  Deterministic in (n_instrs, seed).
+    """
+    rng = _Lcg(seed)
+    instrs: list[Instruction] = []
+    instrs.append(Instruction("LDI", dest=_vreg(9000), imm=64))
+    produced = [9000]
+    load_threshold = int(load_fraction * 1000)
+    edge_threshold = int(edge_density * 1000)
+    for i in range(n_instrs):
+        src = produced[rng.next(len(produced))]
+        if rng.next(1000) < load_threshold:
+            instr = Instruction(
+                "LD", dest=_vreg(i), srcs=(_vreg(src),), offset=0,
+                mem=MemRef("data", "R", affine=({}, rng.next(512))))
+        else:
+            extra = produced[rng.next(len(produced))]
+            if rng.next(1000) < edge_threshold * 4:
+                instr = Instruction("ADD", dest=_vreg(i),
+                                    srcs=(_vreg(src), _vreg(extra)))
+            else:
+                instr = Instruction("ADD", dest=_vreg(i),
+                                    srcs=(_vreg(src),), imm=rng.next(100))
+        instrs.append(instr)
+        produced.append(i)
+    return build_dag(instrs)

@@ -1,0 +1,213 @@
+"""Locality analysis: reuse classification, peeling, marking, limits."""
+
+from repro.analysis.locality import (
+    LocalityAnalyzer,
+    analyze_locality,
+    walk_load_refs,
+)
+from repro.frontend import ast, frontend
+from repro.harness.compile import Options, compile_source
+from repro.isa import Locality
+from repro.machine import Simulator
+
+SPATIAL = """
+array A[16][16] : float;
+array C[16][16] : float;
+var n : int = 16;
+func main() {
+    var i: int; var j: int;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            C[i][j] = A[i][j] * 2.0;
+        }
+    }
+}
+"""
+
+TEMPORAL = """
+array A[16][16] : float;
+array B[16][16] : float;
+array C[16][16] : float;
+var n : int = 16;
+func main() {
+    var i: int; var j: int;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            C[i][j] = A[i][j] + B[i][0];
+        }
+    }
+}
+"""
+
+
+def hints_of(result):
+    """Locality hints of all loads in the final program, by opcode."""
+    return [(ins.locality, ins.group) for ins in result.program.instructions
+            if ins.is_load and not ins.is_spill]
+
+
+class TestClassification:
+    def test_spatial_reuse_detected_and_marked(self):
+        program = frontend(SPATIAL)
+        stats = analyze_locality(program)
+        assert stats.refs_spatial >= 1
+        assert stats.loops_unrolled == 1
+        assert stats.marked_misses >= 1
+        assert stats.marked_hits >= 3      # three hit copies per line
+
+    def test_temporal_reuse_peels(self):
+        program = frontend(TEMPORAL)
+        stats = analyze_locality(program)
+        assert stats.refs_temporal >= 1
+        assert stats.loops_peeled == 1
+
+    def test_non_affine_subscript_unknown(self):
+        source = """
+array A[64] : float;
+array IDX[64] : int;
+var n : int = 64;
+func main() {
+    var i: int; var x: float;
+    for (i = 0; i < n; i = i + 1) {
+        x = A[IDX[i]];
+        A[i] = x;
+    }
+}
+"""
+        program = frontend(source)
+        stats = analyze_locality(program)
+        assert stats.refs_unknown >= 1
+        assert stats.marked_misses == 0 or stats.refs_spatial > 0
+
+    def test_unknown_lower_bound_skipped(self):
+        source = """
+array A[64] : float;
+var n : int = 64;
+var start : int = 1;
+func main() {
+    var i: int; var x: float; var s: int;
+    s = start;
+    for (i = s; i < n; i = i + 1) {
+        A[i] = A[i] * 0.5;
+    }
+}
+"""
+        program = frontend(source)
+        stats = analyze_locality(program)
+        assert stats.loops_unrolled == 0
+        assert stats.loops_peeled == 0
+
+    def test_subscript_variable_assigned_in_body_rejected(self):
+        source = """
+array A[64] : float;
+var n : int = 16;
+func main() {
+    var i: int; var k: int;
+    k = 0;
+    for (i = 0; i < n; i = i + 1) {
+        k = k + 2;
+        A[k] = A[k] + 1.0;
+    }
+}
+"""
+        program = frontend(source)
+        stats = analyze_locality(program)
+        assert stats.loops_unrolled == 0
+
+    def test_misaligned_row_stride_not_spatial(self):
+        # 10 elements per row: row offset not a multiple of the line.
+        source = """
+array A[16][10] : float;
+var n : int = 10;
+func main() {
+    var i: int; var j: int;
+    for (i = 0; i < 16; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            A[i][j] = A[i][j] + 1.0;
+        }
+    }
+}
+"""
+        program = frontend(source)
+        stats = analyze_locality(program)
+        assert stats.refs_spatial == 0
+
+
+class TestGeneratedCode:
+    def test_hit_miss_pattern_in_unrolled_loop(self):
+        result = compile_source(SPATIAL, Options(scheduler="balanced",
+                                                 locality=True))
+        loads = hints_of(result)
+        misses = [h for h, _ in loads if h is Locality.MISS]
+        hits = [h for h, _ in loads if h is Locality.HIT]
+        assert misses and hits
+        assert len(hits) >= 3 * len([m for m in misses])
+
+    def test_miss_and_hits_share_group(self):
+        result = compile_source(SPATIAL, Options(scheduler="balanced",
+                                                 locality=True))
+        by_group = {}
+        for ins in result.program.instructions:
+            if ins.is_load and ins.group is not None:
+                by_group.setdefault(ins.group, []).append(ins.locality)
+        shared = [g for g, hints in by_group.items()
+                  if Locality.MISS in hints and Locality.HIT in hints]
+        assert shared
+
+    def test_semantics_preserved_spatial(self):
+        base = compile_source(SPATIAL, Options(scheduler="balanced"))
+        with_la = compile_source(SPATIAL, Options(scheduler="balanced",
+                                                  locality=True))
+        sim_a, sim_b = Simulator(base.program), Simulator(with_la.program)
+        sim_a.run()
+        sim_b.run()
+        assert sim_a.get_symbol("C") == sim_b.get_symbol("C")
+
+    def test_semantics_preserved_temporal(self):
+        base = compile_source(TEMPORAL, Options(scheduler="balanced"))
+        with_la = compile_source(TEMPORAL, Options(scheduler="balanced",
+                                                   locality=True))
+        sim_a, sim_b = Simulator(base.program), Simulator(with_la.program)
+        sim_a.run()
+        sim_b.run()
+        assert sim_a.get_symbol("C") == sim_b.get_symbol("C")
+
+    def test_zero_trip_loop_safe_after_peel(self):
+        source = """
+array A[8][8] : float;
+array B[8] : float;
+var n : int = 8;
+var m : int = 0;
+func main() {
+    var i: int; var j: int;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < m; j = j + 1) {
+            A[i][j] = A[i][j] + B[i];
+        }
+    }
+}
+"""
+        # m = 0 is read from a mutable global, so the loop runs zero
+        # times; peel+guard must not execute the body.
+        base = compile_source(source, Options(scheduler="balanced"))
+        with_la = compile_source(source, Options(scheduler="balanced",
+                                                 locality=True))
+        sim_a, sim_b = Simulator(base.program), Simulator(with_la.program)
+        sim_a.run()
+        sim_b.run()
+        assert sim_a.get_symbol("A") == sim_b.get_symbol("A")
+
+
+class TestWalkLoadRefs:
+    def test_order_is_deterministic_and_complete(self):
+        program = frontend(TEMPORAL)
+        loop = program.function("main").body.statements[-1]
+        refs = list(walk_load_refs(loop))
+        names = [r.array for r in refs]
+        assert names == ["A", "B"]
+
+    def test_store_targets_not_yielded(self):
+        program = frontend(SPATIAL)
+        loop = program.function("main").body.statements[-1]
+        refs = list(walk_load_refs(loop))
+        assert [r.array for r in refs] == ["A"]

@@ -1,0 +1,79 @@
+"""Live-interval construction inside the register allocator."""
+
+from repro.codegen.regalloc import RegisterAllocator
+from repro.ir import BasicBlock, Cfg
+from repro.isa import Instruction, Reg
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def test_straightline_intervals_are_tight():
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [
+        Instruction("LDI", dest=v(0), imm=1),        # pos 0
+        Instruction("LDI", dest=v(1), imm=2),        # pos 1
+        Instruction("ADD", dest=v(2), srcs=(v(0),), imm=1),   # pos 2
+        Instruction("ADD", dest=v(3), srcs=(v(1), v(2))),     # pos 3
+        Instruction("ST", srcs=(v(3), v(0)), offset=0),       # pos 4
+        Instruction("HALT"),
+    ]))
+    intervals = RegisterAllocator(cfg)._intervals()
+    assert intervals[v(0)] == [0, 4]
+    assert intervals[v(1)] == [1, 3]
+    assert intervals[v(2)] == [2, 3]
+    assert intervals[v(3)] == [3, 4]
+
+
+def test_loop_carried_value_spans_the_loop():
+    cfg = Cfg(entry="pre")
+    cfg.add_block(BasicBlock("pre", [
+        Instruction("LDI", dest=v(0), imm=0),        # pos 0
+    ], fallthrough="loop"))
+    cfg.add_block(BasicBlock("loop", [
+        Instruction("ADD", dest=v(0), srcs=(v(0),), imm=1),   # pos 1
+        Instruction("CMPLT", dest=v(1), srcs=(v(0),), imm=9), # pos 2
+        Instruction("BNE", srcs=(v(1),), label="loop"),       # pos 3
+    ], fallthrough="exit"))
+    cfg.add_block(BasicBlock("exit", [
+        Instruction("ST", srcs=(v(0), v(0)), offset=0),       # pos 4
+        Instruction("HALT"),                                  # pos 5
+    ]))
+    intervals = RegisterAllocator(cfg)._intervals()
+    # v0 is live from its definition through the loop into the exit.
+    start, end = intervals[v(0)]
+    assert start == 0
+    assert end >= 4
+    # v1 only lives inside the loop block.
+    assert intervals[v(1)][0] >= 1
+    assert intervals[v(1)][1] <= 3
+
+
+def test_physical_registers_have_no_intervals():
+    from repro.isa import SP, ZERO
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [
+        Instruction("LD", dest=v(0), srcs=(SP,), offset=0),
+        Instruction("SUB", dest=v(1), srcs=(ZERO, v(0))),
+        Instruction("HALT"),
+    ]))
+    intervals = RegisterAllocator(cfg)._intervals()
+    assert all(reg.virtual for reg in intervals)
+
+
+def test_value_live_through_untouched_block():
+    cfg = Cfg(entry="a")
+    cfg.add_block(BasicBlock("a", [
+        Instruction("LDI", dest=v(0), imm=1),        # pos 0
+    ], fallthrough="b"))
+    cfg.add_block(BasicBlock("b", [
+        Instruction("LDI", dest=v(1), imm=2),        # pos 1 (v0 passes by)
+    ], fallthrough="c"))
+    cfg.add_block(BasicBlock("c", [
+        Instruction("ST", srcs=(v(0), v(1)), offset=0),  # pos 2
+        Instruction("HALT"),
+    ]))
+    intervals = RegisterAllocator(cfg)._intervals()
+    start, end = intervals[v(0)]
+    assert start == 0 and end >= 2

@@ -1,0 +1,231 @@
+"""Lowering: addressing, CSE, inlining, globals, select."""
+
+from repro.codegen.lower import lower
+from repro.frontend import frontend
+from repro.harness.compile import Options, compile_source
+from repro.isa import Locality
+from repro.machine import Simulator
+
+
+def lower_source(source: str):
+    return lower(frontend(source))
+
+
+def block_ops(cfg, label):
+    return [i.op for i in cfg.blocks[label].instrs]
+
+
+class TestDataLayout:
+    def test_arrays_are_line_aligned(self):
+        cfg = lower_source("""
+array A[3] : float;
+array B[5] : int;
+func main() { A[0] = 1.0; }
+""")
+        assert cfg.symbols["A"].address % 32 == 0
+        assert cfg.symbols["B"].address % 32 == 0
+        assert cfg.symbols["B"].address >= \
+            cfg.symbols["A"].address + 3 * 8
+
+    def test_read_only_globals_promoted(self):
+        cfg = lower_source("""
+var n : int = 5;
+array A[8] : float;
+func main() { A[n] = 1.0; }
+""")
+        assert "n" not in cfg.symbols        # no memory slot
+
+    def test_assigned_globals_in_memory(self):
+        cfg = lower_source("""
+var total : float = 0.0;
+func main() { total = 1.0; }
+""")
+        assert "total" in cfg.symbols
+        assert cfg.symbols["total"].is_fp
+
+
+class TestAddressing:
+    def test_shared_address_computation(self):
+        """Stencil neighbours share one scaled index per block."""
+        cfg = lower_source("""
+array A[16][16] : float;
+array B[16][16] : float;
+func main() {
+    var i : int; var j : int;
+    for (i = 0; i < 16; i = i + 1) {
+        for (j = 1; j < 15; j = j + 1) {
+            B[i][j] = A[i][j - 1] + A[i][j] + A[i][j + 1];
+        }
+    }
+}
+""")
+        program = cfg.linearize()
+        loads = [ins for ins in program.instructions if ins.is_load]
+        assert len(loads) == 3
+        # All three loads use the same base register, distinct offsets.
+        bases = {ins.srcs[0] for ins in loads}
+        assert len(bases) == 1
+        offsets = sorted(ins.offset for ins in loads)
+        assert offsets[2] - offsets[1] == 8
+        assert offsets[1] - offsets[0] == 8
+
+    def test_constant_folded_into_displacement(self):
+        cfg = lower_source("""
+array A[16] : float;
+func main() {
+    var i : int;
+    for (i = 0; i < 8; i = i + 1) { A[i + 3] = float(i); }
+}
+""")
+        program = cfg.linearize()
+        stores = [i for i in program.instructions if i.is_store
+                  and i.mem is not None and i.mem.region == "data"]
+        base = cfg.symbols["A"].address
+        assert stores[0].offset == base + 3 * 8
+
+    def test_power_of_two_stride_uses_shift(self):
+        cfg = lower_source("""
+array A[8][16] : float;
+func main() {
+    var i : int; var j : int; var x : float;
+    i = 2; j = 3;
+    x = A[i][j];
+    A[i][j] = x;
+}
+""")
+        ops = [i.op for b in cfg for i in b.instrs]
+        assert "MUL" not in ops
+        assert "SLL" in ops
+
+    def test_two_bit_stride_uses_shift_add(self):
+        cfg = lower_source("""
+array A[8][48] : float;
+func main() {
+    var i : int; var x : float;
+    i = 2;
+    x = A[i][0];
+    A[i][1] = x;
+}
+""")
+        ops = [i.op for b in cfg for i in b.instrs]
+        assert "MUL" not in ops              # 48 = 32 + 16
+
+    def test_non_affine_subscript_falls_back(self):
+        cfg = lower_source("""
+array A[64] : float;
+array IDX[64] : int;
+func main() {
+    var i : int; var x : float;
+    i = 1;
+    x = A[IDX[i]];
+    A[0] = x;
+}
+""")
+        program = cfg.linearize()
+        loads = [i for i in program.instructions if i.is_load]
+        irregular = [i for i in loads if i.mem.symbol == "A"
+                     and i.mem.affine is None]
+        assert irregular
+
+    def test_scalar_global_access_via_zero_register(self):
+        cfg = lower_source("""
+var total : float = 0.0;
+func main() { total = total + 1.0; }
+""")
+        program = cfg.linearize()
+        loads = [i for i in program.instructions if i.is_load]
+        assert loads[0].srcs[0].is_zero
+        assert loads[0].offset == cfg.symbols["total"].address
+
+
+class TestInlining:
+    def test_nested_calls_fully_inlined(self):
+        cfg = lower_source("""
+array OUT[1] : float;
+func inner(x: float) : float { return x + 1.0; }
+func outer(x: float) : float { return inner(x) * 2.0; }
+func main() { OUT[0] = outer(3.0); }
+""")
+        # No call machinery exists at all: one block, straight line.
+        program = cfg.linearize()
+        sim = Simulator(program)
+        sim.run()
+        assert sim.get_symbol("OUT") == [8.0]
+
+    def test_two_call_sites_get_separate_registers(self):
+        cfg = lower_source("""
+array OUT[2] : float;
+func f(x: float) : float { var t : float; t = x * 2.0; return t; }
+func main() {
+    OUT[0] = f(1.0);
+    OUT[1] = f(10.0);
+}
+""")
+        sim = Simulator(cfg.linearize())
+        sim.run()
+        assert sim.get_symbol("OUT") == [2.0, 20.0]
+
+    def test_void_function_with_global_side_effect(self):
+        cfg = lower_source("""
+var counter : int = 0;
+func bump() { counter = counter + 1; }
+func main() { bump(); bump(); bump(); }
+""")
+        sim = Simulator(cfg.linearize())
+        sim.run()
+        assert sim.get_symbol("counter") == 3
+
+
+class TestControlFlow:
+    def test_loop_is_rotated(self):
+        cfg = lower_source("""
+array A[8] : float;
+var n : int = 8;
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) { A[i] = 1.0; }
+}
+""")
+        # Rotated loops: guard BEQ in entry, latch BNE at body end.
+        program = cfg.linearize()
+        ops = [i.op for i in program.instructions]
+        assert ops.count("BNE") == 1
+        assert ops.count("BEQ") == 1
+
+    def test_locality_hints_reach_instructions(self):
+        source = """
+array A[16][16] : float;
+array C[16][16] : float;
+var n : int = 16;
+func main() {
+    var i : int; var j : int;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) { C[i][j] = A[i][j] * 2.0; }
+    }
+}
+"""
+        result = compile_source(source, Options(scheduler="none",
+                                                locality=True))
+        hints = {i.locality for i in result.program.instructions
+                 if i.is_load}
+        assert Locality.MISS in hints and Locality.HIT in hints
+
+
+def test_whole_pipeline_numeric_reference():
+    source = """
+array A[10] : float;
+var acc : float = 0.0;
+func main() {
+    var i : int;
+    for (i = 0; i < 10; i = i + 1) {
+        A[i] = float(i * i) * 0.5;
+        acc = acc + A[i];
+    }
+}
+"""
+    result = compile_source(source, Options(scheduler="balanced"))
+    sim = Simulator(result.program)
+    sim.run()
+    expected = [i * i * 0.5 for i in range(10)]
+    assert sim.get_symbol("A") == expected
+    assert abs(sim.get_symbol("acc") - sum(expected)) < 1e-9

@@ -1,0 +1,224 @@
+"""Lowering paths not covered by the main lowering tests: logical
+operators, casts in every position, while loops, memory-resident
+globals, selects over both banks, division/modulo."""
+
+import pytest
+
+from repro.harness.compile import Options, compile_source
+from repro.machine import SimulationError, Simulator
+
+
+def run(source: str, symbols: list[str], options: Options = Options()):
+    result = compile_source(source, options)
+    sim = Simulator(result.program)
+    sim.run(max_instructions=1_000_000)
+    return {name: sim.get_symbol(name) for name in symbols}
+
+
+class TestLogicalOperators:
+    def test_and_or_not(self):
+        state = run("""
+array OUT[6] : int;
+func main() {
+    var a : int; var b : int;
+    a = 3; b = 0;
+    OUT[0] = (a > 0) && (b > 0);
+    OUT[1] = (a > 0) && (b == 0);
+    OUT[2] = (a > 0) || (b > 0);
+    OUT[3] = (a < 0) || (b > 0);
+    OUT[4] = !a;
+    OUT[5] = !b;
+}
+""", ["OUT"])
+        assert state["OUT"] == [0, 1, 1, 0, 0, 1]
+
+    def test_non_boolean_operands_normalized(self):
+        state = run("""
+array OUT[2] : int;
+func main() {
+    var a : int; var b : int;
+    a = 7; b = 4;
+    OUT[0] = a && b;
+    OUT[1] = a && 0;
+}
+""", ["OUT"])
+        assert state["OUT"] == [1, 0]
+
+    def test_comparison_operators_both_banks(self):
+        state = run("""
+array OUT[8] : int;
+func main() {
+    var x : float; var i : int;
+    x = 2.5; i = 3;
+    OUT[0] = x > 2.0;
+    OUT[1] = x >= 2.5;
+    OUT[2] = x != 2.5;
+    OUT[3] = x == 2.5;
+    OUT[4] = i > 2;
+    OUT[5] = i >= 4;
+    OUT[6] = i != 3;
+    OUT[7] = i <= 3;
+}
+""", ["OUT"])
+        assert state["OUT"] == [1, 1, 0, 1, 1, 0, 0, 1]
+
+
+class TestCasts:
+    def test_truncation_toward_zero(self):
+        state = run("""
+array OUT[4] : int;
+func main() {
+    OUT[0] = int(2.9);
+    OUT[1] = int(-2.9);
+    OUT[2] = int(0.1);
+    OUT[3] = int(float(7));
+}
+""", ["OUT"])
+        assert state["OUT"] == [2, -2, 0, 7]
+
+    def test_cast_in_condition(self):
+        state = run("""
+array OUT[1] : int;
+func main() {
+    var x : float;
+    x = 3.7;
+    if (int(x) == 3) { OUT[0] = 1; }
+}
+""", ["OUT"])
+        assert state["OUT"] == [1]
+
+
+class TestIntegerArithmetic:
+    def test_division_and_modulo_signs(self):
+        state = run("""
+array OUT[6] : int;
+func main() {
+    OUT[0] = 17 / 5;
+    OUT[1] = 17 % 5;
+    OUT[2] = -17 / 5;
+    OUT[3] = -17 % 5;
+    OUT[4] = 17 / -5;
+    OUT[5] = 17 % -5;
+}
+""", ["OUT"])
+        assert state["OUT"] == [3, 2, -3, -2, -3, 2]
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(SimulationError):
+            run("""
+array OUT[1] : int;
+var zero : int = 0;
+func main() { OUT[0] = 1 / zero; }
+""", ["OUT"])
+
+    def test_large_shift_values(self):
+        state = run("""
+array OUT[2] : int;
+func main() {
+    OUT[0] = 1 * 1024 * 1024;
+    OUT[1] = (1 * 1024 * 1024) / 2048;
+}
+""", ["OUT"])
+        assert state["OUT"] == [1 << 20, 512]
+
+
+class TestWhileLoops:
+    def test_while_with_compound_condition(self):
+        state = run("""
+array OUT[1] : int;
+func main() {
+    var x : int; var steps : int;
+    x = 100; steps = 0;
+    while (x > 1 && steps < 50) {
+        if (x % 2 == 0) { x = x / 2; } else { x = x * 3 + 1; }
+        steps = steps + 1;
+    }
+    OUT[0] = steps;
+}
+""", ["OUT"])
+        # Collatz from 100 reaches 1 in 25 steps.
+        assert state["OUT"] == [25]
+
+    def test_zero_iteration_while(self):
+        state = run("""
+array OUT[1] : int;
+func main() {
+    var x : int;
+    x = 0;
+    while (x > 10) { x = x - 1; }
+    OUT[0] = x;
+}
+""", ["OUT"])
+        assert state["OUT"] == [0]
+
+
+class TestMutableGlobals:
+    def test_global_read_write_across_functions(self):
+        state = run("""
+var counter : int = 5;
+array OUT[2] : int;
+func bump(by: int) { counter = counter + by; }
+func main() {
+    OUT[0] = counter;
+    bump(3);
+    bump(4);
+    OUT[1] = counter;
+}
+""", ["OUT", "counter"])
+        assert state["OUT"] == [5, 12]
+        assert state["counter"] == 12
+
+    def test_mutable_global_as_loop_bound(self):
+        state = run("""
+var limit : int = 3;
+array OUT[1] : int;
+func main() {
+    var i : int; var total : int;
+    total = 0;
+    for (i = 0; i < limit; i = i + 1) {
+        total = total + 10;
+        limit = limit + 0;
+    }
+    OUT[0] = total;
+}
+""", ["OUT"])
+        assert state["OUT"] == [30]
+
+    def test_float_global_accumulator(self):
+        state = run("""
+var acc : float = 0.5;
+array OUT[1] : float;
+func main() {
+    var i : int;
+    for (i = 0; i < 4; i = i + 1) { acc = acc * 2.0; }
+    OUT[0] = acc;
+}
+""", ["OUT"])
+        assert state["OUT"] == [8.0]
+
+
+class TestNegativeIndices:
+    def test_expression_offsets_below_base(self):
+        state = run("""
+array A[8] : float;
+array OUT[1] : float;
+func main() {
+    var i : int;
+    for (i = 0; i < 8; i = i + 1) { A[i] = float(i); }
+    i = 5;
+    OUT[0] = A[i - 3];
+}
+""", ["OUT"])
+        assert state["OUT"] == [2.0]
+
+
+def test_deeply_nested_expression():
+    state = run("""
+array OUT[1] : float;
+func main() {
+    OUT[0] = ((((1.0 + 2.0) * 3.0 - 4.0) / 5.0 + 6.0) * 7.0 - 8.0)
+           * 0.5;
+}
+""", ["OUT"])
+    assert abs(state["OUT"][0] - ((((3.0 * 3 - 4) / 5 + 6) * 7 - 8) * 0.5)) \
+        < 1e-12

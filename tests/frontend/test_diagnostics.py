@@ -1,0 +1,69 @@
+"""Diagnostics: error locations and messages."""
+
+import pytest
+
+from repro.frontend import (
+    CompileError,
+    LexError,
+    ParseError,
+    SemanticError,
+    frontend,
+    tokenize,
+)
+from repro.frontend.errors import SourceLocation
+
+
+def test_source_location_repr_and_equality():
+    loc = SourceLocation(3, 7)
+    assert repr(loc) == "3:7"
+    assert loc == SourceLocation(3, 7)
+    assert loc != SourceLocation(3, 8)
+    assert hash(loc) == hash(SourceLocation(3, 7))
+
+
+def test_error_message_includes_location():
+    error = CompileError("bad thing", SourceLocation(2, 5))
+    assert str(error) == "2:5: bad thing"
+    assert CompileError("no location").args[0] == "no location"
+
+
+def test_lex_error_points_at_offending_character():
+    with pytest.raises(LexError) as err:
+        tokenize("x = 1;\ny = @;")
+    assert "2:" in str(err.value)
+    assert "@" in str(err.value)
+
+
+def test_parse_error_location_on_later_line():
+    with pytest.raises(ParseError) as err:
+        frontend("func main() {\n    var x : int;\n    x = ;\n}")
+    assert "3:" in str(err.value)
+
+
+def test_semantic_error_names_the_symbol():
+    with pytest.raises(SemanticError) as err:
+        frontend("func main() { missing = 1; }")
+    assert "missing" in str(err.value)
+
+
+def test_recursion_error_shows_cycle():
+    with pytest.raises(SemanticError) as err:
+        frontend("""
+func a(x: int) : int { return b(x); }
+func b(x: int) : int { return a(x); }
+func main() { }
+""")
+    message = str(err.value)
+    assert "a" in message and "b" in message and "->" in message
+
+
+def test_error_hierarchy():
+    assert issubclass(LexError, CompileError)
+    assert issubclass(ParseError, CompileError)
+    assert issubclass(SemanticError, CompileError)
+
+
+def test_helpful_cast_hint():
+    with pytest.raises(SemanticError) as err:
+        frontend("func main() { var x : int; x = 2.5; }")
+    assert "int(...)" in str(err.value)

@@ -1,0 +1,160 @@
+"""Parser: every construct, precedence, error reporting."""
+
+import pytest
+
+from repro.frontend import ParseError, ast, parse
+
+
+def parse_main(body: str):
+    program = parse(f"func main() {{ {body} }}")
+    return program.function("main").body.statements
+
+
+def first_expr(body: str):
+    stmt = parse_main(body)[0]
+    assert isinstance(stmt, ast.Assign)
+    return stmt.value
+
+
+class TestDeclarations:
+    def test_array_declaration(self):
+        program = parse("array A[4][8] : float;")
+        array = program.array("A")
+        assert array.dims == (4, 8)
+        assert array.type == ast.FLOAT
+        assert array.size_elems == 32
+
+    def test_global_var_with_init(self):
+        program = parse("var n : int = 10;")
+        decl = program.globals[0]
+        assert decl.name == "n"
+        assert isinstance(decl.init, ast.IntLit)
+
+    def test_function_with_params_and_return_type(self):
+        program = parse("func f(a: int, b: float) : float { return b; }")
+        func = program.function("f")
+        assert [(p.name, p.type) for p in func.params] == \
+            [("a", ast.INT), ("b", ast.FLOAT)]
+        assert func.return_type == ast.FLOAT
+
+    def test_zero_dimension_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse("array A[0] : int;")
+
+    def test_array_without_dims_rejected(self):
+        with pytest.raises(ParseError):
+            parse("array A : int;")
+
+
+class TestStatements:
+    def test_scalar_assignment(self):
+        (stmt,) = parse_main("x = 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Name)
+
+    def test_array_assignment(self):
+        (stmt,) = parse_main("A[i][j + 1] = 0.0;")
+        assert isinstance(stmt.target, ast.ArrayIndex)
+        assert len(stmt.target.indices) == 2
+
+    def test_if_without_else(self):
+        (stmt,) = parse_main("if (x < 1) { y = 1; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_body is None
+
+    def test_if_else_chain_nests(self):
+        (stmt,) = parse_main(
+            "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }")
+        nested = stmt.else_body.statements[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_body is not None
+
+    def test_while_loop(self):
+        (stmt,) = parse_main("while (i < 10) { i = i + 1; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_loop_components(self):
+        (stmt,) = parse_main("for (i = 0; i < n; i = i + 1) { x = i; }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Assign)
+        assert isinstance(stmt.cond, ast.BinOp)
+        assert isinstance(stmt.step, ast.Assign)
+
+    def test_for_requires_assignments(self):
+        with pytest.raises(ParseError):
+            parse_main("for (f(); i < n; i = i + 1) { x = i; }")
+
+    def test_call_statement(self):
+        (stmt,) = parse_main("f(1, 2);")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+
+    def test_local_var_decl(self):
+        (stmt,) = parse_main("var t : float = 1.0;")
+        assert isinstance(stmt, ast.VarDecl)
+
+    def test_nested_block(self):
+        (stmt,) = parse_main("{ x = 1; y = 2; }")
+        assert isinstance(stmt, ast.Block)
+        assert len(stmt.statements) == 2
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_main("x = 1")
+
+
+class TestExpressions:
+    def test_multiplication_binds_tighter_than_addition(self):
+        expr = first_expr("x = a + b * c;")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = first_expr("x = a + 1 < b * 2;")
+        assert expr.op == "<"
+
+    def test_logical_or_binds_loosest(self):
+        expr = first_expr("x = a && b || c;")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_parentheses_override(self):
+        expr = first_expr("x = (a + b) * c;")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = first_expr("x = -a * b;")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_casts(self):
+        expr = first_expr("x = int(y) + 1;")
+        assert isinstance(expr.left, ast.Cast)
+        assert expr.left.target == ast.INT
+        expr = first_expr("x = float(3);")
+        assert expr.target == ast.FLOAT
+
+    def test_call_in_expression(self):
+        expr = first_expr("x = f(a, b + 1) * 2;")
+        assert isinstance(expr.left, ast.Call)
+        assert len(expr.left.args) == 2
+
+    def test_multi_dim_index_expression(self):
+        expr = first_expr("x = A[i + 1][2 * j];")
+        assert isinstance(expr, ast.ArrayIndex)
+        assert len(expr.indices) == 2
+
+    def test_left_associativity_of_subtraction(self):
+        expr = first_expr("x = a - b - c;")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_main("x = (a + b;")
+
+
+def test_top_level_junk_rejected():
+    with pytest.raises(ParseError):
+        parse("banana")

@@ -1,0 +1,159 @@
+"""Semantic analysis: types, scoping, inlining restrictions."""
+
+import pytest
+
+from repro.frontend import SemanticError, ast, frontend
+
+
+def analyze_main(body: str, prelude: str = ""):
+    return frontend(f"{prelude}\nfunc main() {{ {body} }}")
+
+
+class TestTyping:
+    def test_int_float_mixing_inserts_cast(self):
+        program = analyze_main("var x : float; x = 1 + 0.5;")
+        assign = program.function("main").body.statements[1]
+        binop = assign.value
+        assert binop.type == ast.FLOAT
+        assert isinstance(binop.left, ast.Cast)
+
+    def test_float_to_int_requires_explicit_cast(self):
+        with pytest.raises(SemanticError):
+            analyze_main("var x : int; x = 1.5;")
+        analyze_main("var x : int; x = int(1.5);")
+
+    def test_comparisons_produce_int(self):
+        program = analyze_main("var x : int; x = 1.0 < 2.0;")
+        assign = program.function("main").body.statements[1]
+        assert assign.value.type == ast.INT
+
+    def test_modulo_requires_ints(self):
+        with pytest.raises(SemanticError):
+            analyze_main("var x : float; x = 1.5 % 2.0;")
+
+    def test_logical_ops_require_ints(self):
+        with pytest.raises(SemanticError):
+            analyze_main("var x : int; x = 1.0 && 1;")
+
+    def test_condition_must_be_int(self):
+        with pytest.raises(SemanticError):
+            analyze_main("if (1.5) { }")
+        analyze_main("if (1.5 < 2.0) { }")
+
+    def test_not_requires_int(self):
+        with pytest.raises(SemanticError):
+            analyze_main("var x : int; x = !1.5;")
+
+
+class TestNames:
+    def test_undefined_variable(self):
+        with pytest.raises(SemanticError):
+            analyze_main("x = 1;")
+
+    def test_undefined_array(self):
+        with pytest.raises(SemanticError):
+            analyze_main("A[0] = 1.0;")
+
+    def test_array_used_as_scalar(self):
+        with pytest.raises(SemanticError):
+            analyze_main("var x : float; x = A;",
+                         prelude="array A[4] : float;")
+
+    def test_wrong_dimension_count(self):
+        with pytest.raises(SemanticError):
+            analyze_main("A[0] = 1.0;", prelude="array A[4][4] : float;")
+
+    def test_index_must_be_int(self):
+        with pytest.raises(SemanticError):
+            analyze_main("A[1.5] = 1.0;", prelude="array A[4] : float;")
+
+    def test_duplicate_local(self):
+        with pytest.raises(SemanticError):
+            analyze_main("var x : int; var x : int;")
+
+    def test_local_shadowing_global_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("var n : int;", prelude="var n : int = 3;")
+
+    def test_duplicate_top_level(self):
+        with pytest.raises(SemanticError):
+            frontend("var a : int; array a[4] : int; func main() { }")
+
+
+class TestFunctions:
+    def test_main_required(self):
+        with pytest.raises(SemanticError):
+            frontend("func helper() { }")
+
+    def test_main_signature_enforced(self):
+        with pytest.raises(SemanticError):
+            frontend("func main(x: int) { }")
+        with pytest.raises(SemanticError):
+            frontend("func main() : int { return 0; }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError):
+            analyze_main("f(1, 2);",
+                         prelude="func f(x: int) { var t : int; t = x; }")
+
+    def test_argument_coercion(self):
+        program = analyze_main(
+            "var y : float; y = f(1);",
+            prelude="func f(x: float) : float { return x; }")
+        call = program.function("main").body.statements[1].value
+        assert isinstance(call.args[0], ast.Cast)
+
+    def test_void_call_in_expression_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("var y : int; y = f();",
+                         prelude="var g : int = 0;\nfunc f() { g = 1; }")
+
+    def test_return_type_checked(self):
+        with pytest.raises(SemanticError):
+            frontend("func f() : int { return 1.5; }\nfunc main() { }")
+
+    def test_function_must_end_with_return(self):
+        with pytest.raises(SemanticError):
+            frontend("func f() : int { var x : int; x = 1; }\n"
+                     "func main() { }")
+
+    def test_early_return_rejected(self):
+        with pytest.raises(SemanticError):
+            frontend("""
+func f(x: int) : int {
+    if (x < 0) { return 0; }
+    return x;
+}
+func main() { }
+""")
+
+    def test_direct_recursion_rejected(self):
+        with pytest.raises(SemanticError) as err:
+            frontend("func f(x: int) : int { return f(x); }\n"
+                     "func main() { }")
+        assert "recursion" in str(err.value)
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(SemanticError):
+            frontend("""
+func f(x: int) : int { return g(x); }
+func g(x: int) : int { return f(x); }
+func main() { }
+""")
+
+    def test_call_chain_allowed(self):
+        frontend("""
+func h(x: float) : float { return x * 2.0; }
+func g(x: float) : float { return h(x) + 1.0; }
+func main() { var y : float; y = g(1.0); }
+""")
+
+
+def test_expression_statement_must_be_call():
+    # The parser only produces ExprStmt for calls; build one manually.
+    from repro.frontend.sema import Analyzer
+    program = frontend("func main() { }")
+    bad = ast.ExprStmt(expr=ast.IntLit(value=1))
+    program.function("main").body.statements.append(bad)
+    with pytest.raises(SemanticError):
+        Analyzer(program).analyze()

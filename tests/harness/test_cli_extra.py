@@ -1,0 +1,58 @@
+"""CLI: bench and dump paths that need real (small) runs."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_bench_subset(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["bench", "ora", "--configs", "base"]) == 0
+    out = capsys.readouterr().out
+    assert "ora" in out
+    assert "balanced" in out and "traditional" in out
+    # Two data rows (one per scheduler); "running" progress lines also
+    # mention the benchmark name, so filter to table rows.
+    data_rows = [line for line in out.splitlines()
+                 if line.startswith("ora")]
+    assert len(data_rows) == 2
+
+
+def test_compile_with_all_flags(tmp_path, capsys):
+    path = tmp_path / "k.mf"
+    path.write_text("""
+array A[32] : float;
+var n : int = 32;
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) { A[i] = float(i) * 0.5; }
+}
+""")
+    assert main(["compile", str(path), "--unroll", "4", "--locality",
+                 "--trace", "--scheduler", "traditional"]) == 0
+    out = capsys.readouterr().out
+    assert "HALT" in out
+
+
+def test_run_reports_dual_issue_difference(tmp_path, capsys):
+    path = tmp_path / "k.mf"
+    path.write_text("""
+array A[64] : float;
+var n : int = 64;
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) { A[i] = float(i) + float(i * 2); }
+}
+""")
+    assert main(["run", str(path)]) == 0
+    narrow = capsys.readouterr().out
+    assert main(["run", str(path), "--issue-width", "2"]) == 0
+    wide = capsys.readouterr().out
+
+    def cycles(text):
+        for line in text.splitlines():
+            if line.startswith("cycles"):
+                return int(line.split()[-1])
+        raise AssertionError(text)
+
+    assert cycles(wide) < cycles(narrow)

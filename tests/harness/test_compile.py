@@ -1,0 +1,87 @@
+"""Compilation driver: options, pipeline composition, profiles."""
+
+import pytest
+
+from repro.harness.compile import (
+    Options,
+    compile_and_run,
+    compile_source,
+    make_weight_model,
+    run_compiled,
+)
+from repro.sched import BalancedWeights, TraditionalWeights
+
+
+def test_options_labels():
+    assert Options().label() == "balanced"
+    assert Options(scheduler="traditional", unroll=4).label() == \
+        "traditional+lu4"
+    assert Options(unroll=8, trace=True, locality=True).label() == \
+        "balanced+la+lu8+trs"
+
+
+def test_options_validation():
+    with pytest.raises(ValueError):
+        Options(scheduler="bogus").validate()
+    with pytest.raises(ValueError):
+        Options(unroll=3).validate()
+
+
+def test_weight_model_selection():
+    assert isinstance(make_weight_model(Options(scheduler="balanced")),
+                      BalancedWeights)
+    assert isinstance(make_weight_model(Options(scheduler="traditional")),
+                      TraditionalWeights)
+    assert make_weight_model(Options(scheduler="none")) is None
+
+
+def test_locality_flag_enables_selective_weights():
+    model = make_weight_model(Options(scheduler="balanced", locality=True))
+    assert model.use_locality
+    model = make_weight_model(Options(scheduler="balanced"))
+    assert not model.use_locality
+
+
+def test_compile_and_run_roundtrip(stencil_source):
+    result, metrics = compile_and_run(stencil_source, Options())
+    assert metrics.instructions > 0
+    assert metrics.total_cycles > metrics.instructions // 2
+
+
+def test_trace_compilation_collects_profile(stencil_source):
+    result = compile_source(stencil_source,
+                            Options(scheduler="balanced", trace=True))
+    assert result.profile is not None
+    assert result.profile.block_counts
+    assert result.trace_stats is not None
+
+
+def test_profile_not_collected_without_trace(stencil_source):
+    result = compile_source(stencil_source, Options(scheduler="balanced"))
+    assert result.profile is None
+
+
+def test_unroll_stats_reported(stencil_source):
+    result = compile_source(stencil_source,
+                            Options(scheduler="balanced", unroll=4))
+    assert result.unroll_stats is not None
+    assert result.unroll_stats.unrolled >= 1
+
+
+def test_locality_stats_reported(stencil_source):
+    result = compile_source(stencil_source,
+                            Options(scheduler="balanced", locality=True))
+    assert result.locality_stats is not None
+
+
+def test_classic_opts_shrink_code(stencil_source):
+    optimized = compile_source(stencil_source, Options())
+    naive = compile_source(stencil_source, Options(classic_opts=False))
+    assert optimized.static_instructions < naive.static_instructions
+
+
+def test_run_compiled_respects_limit(stencil_source):
+    from repro.machine import SimulationError
+    result = compile_source(stencil_source, Options())
+    with pytest.raises(SimulationError):
+        run_compiled(result, max_instructions=10)

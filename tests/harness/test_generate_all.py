@@ -1,0 +1,16 @@
+"""generate_all: render every table in one pass."""
+
+from repro.harness.tables import generate_all
+from tests.harness.test_tables import StubRunner
+
+
+def test_generate_all_contains_every_table():
+    text = generate_all(StubRunner(), benchmarks=["ARC2D", "ora"])
+    for number in range(1, 10):
+        assert f"Table {number}:" in text
+
+
+def test_generate_all_orders_tables():
+    text = generate_all(StubRunner(), benchmarks=["ora"])
+    positions = [text.index(f"Table {n}:") for n in range(1, 10)]
+    assert positions == sorted(positions)

@@ -1,0 +1,35 @@
+"""Report generator against a stub runner."""
+
+from repro.harness.report import HEADLINE_METRICS, build_report, write_report
+from tests.harness.test_tables import StubRunner
+
+
+def test_headline_metrics_cover_the_paper_claims():
+    names = [m.name for m in HEADLINE_METRICS]
+    assert any("no optimizations" in n for n in names)
+    assert any("LU8" in n for n in names)
+    assert any("locality" in n for n in names)
+    assert any("load-interlock" in n for n in names)
+    assert len(HEADLINE_METRICS) >= 10
+
+
+def test_build_report_renders_markdown():
+    text = build_report(StubRunner())
+    assert text.startswith("# Reproduction report")
+    assert "| Metric | Paper | Measured | Verdict |" in text
+    # One row per metric plus header rows.
+    assert text.count("| ") >= len(HEADLINE_METRICS)
+    assert "headline" in text
+
+
+def test_verdicts_are_close_or_deviates():
+    text = build_report(StubRunner())
+    for line in text.splitlines():
+        if line.startswith("| BS"):
+            assert "close" in line or "deviates" in line
+
+
+def test_write_report(tmp_path):
+    path = tmp_path / "report.md"
+    text = write_report(path, StubRunner())
+    assert path.read_text().strip() == text.strip()

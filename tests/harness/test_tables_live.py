@@ -1,0 +1,62 @@
+"""Table generators against the real runner on two small benchmarks.
+
+Complements test_tables.py (stub runner): here we validate that the
+whole harness wiring — runner, cache, table math — holds together on
+actual simulations of the two cheapest benchmarks.
+"""
+
+import pytest
+
+from repro.harness import (
+    ExperimentRunner,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+
+BENCHES = ["ora", "DYFESM"]
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(cache_dir=tmp_path_factory.mktemp("cache"))
+
+
+def test_table4_live(runner):
+    table = table4(runner, benchmarks=BENCHES)
+    assert [row[0] for row in table.rows] == BENCHES + ["AVERAGE"]
+    for row in table.rows[:-1]:
+        assert float(row[2]) > 0.5      # a sane speedup
+
+def test_table5_live(runner):
+    table = table5(runner, benchmarks=BENCHES)
+    ora = table.rows[0]
+    assert ora[0] == "ora"
+    assert abs(float(ora[1]) - 1.0) < 0.05
+
+
+def test_table6_live(runner):
+    table = table6(runner, benchmarks=BENCHES)
+    assert len(table.rows) == len(BENCHES) + 1
+    for cell in table.rows[0][1:]:
+        assert float(cell) > 0.5
+
+
+def test_table7_live(runner):
+    table = table7(runner, benchmarks=BENCHES)
+    assert len(table.rows[0]) == 6
+
+
+def test_table8_live(runner):
+    table = table8(runner, benchmarks=BENCHES)
+    assert len(table.rows) == 5
+
+
+def test_table9_live(runner):
+    table = table9(runner, benchmarks=BENCHES)
+    assert table.rows[0][1] == "n.a."
+    for row in table.rows:
+        assert float(row[2]) > 0.5

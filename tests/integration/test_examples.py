@@ -1,0 +1,48 @@
+"""The shipped examples must keep running (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "figure1_balanced_weights.py",
+    "figures3to5_locality.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100
+
+
+def test_figure1_example_prints_paper_weights(capsys):
+    runpy.run_path(str(EXAMPLES / "figure1_balanced_weights.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "3.0" in out and "2.0" in out
+    assert "L0" in out and "L3" in out
+
+
+def test_locality_example_reports_both_reuse_kinds(capsys):
+    runpy.run_path(str(EXAMPLES / "figures3to5_locality.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "spatial references:  1" in out
+    assert "temporal references: 1" in out
+    assert "identical results" in out
+
+
+def test_all_examples_exist():
+    expected = {
+        "quickstart.py", "figure1_balanced_weights.py",
+        "figure2_trace_scheduling.py", "figures3to5_locality.py",
+        "custom_kernel.py", "paper_tables.py", "sensitivity_sweep.py",
+    }
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= present

@@ -1,0 +1,107 @@
+"""Cross-stage integration: each pipeline stage's observable effect.
+
+Rather than re-testing stages in isolation, these tests compile one
+program with a stage toggled and assert the *difference* the stage is
+supposed to make, end to end.
+"""
+
+from repro.harness.compile import Options, compile_source, run_compiled
+from repro.isa import OpClass
+
+
+SOURCE = """
+array A[512] : float;
+array B[512] : float;
+var n : int = 512;
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) { A[i] = float(i % 43) - 20.0; }
+    for (i = 1; i < 511; i = i + 1) {
+        if (A[i] < 0.0) { A[i] = 0.0 - A[i]; }
+        B[i] = A[i - 1] * 0.25 + A[i] * 0.5 + A[i + 1] * 0.25;
+    }
+}
+"""
+
+
+def metrics_for(**knobs):
+    result = compile_source(SOURCE, Options(**knobs))
+    return result, run_compiled(result)
+
+
+def test_predication_removes_dynamic_branches():
+    _, with_cmov = metrics_for(predicate=True)
+    _, with_branches = metrics_for(predicate=False)
+    assert with_cmov.branches < with_branches.branches
+    assert with_cmov.branch_mispredicts <= with_branches.branch_mispredicts
+
+
+def test_classic_opts_reduce_dynamic_instructions():
+    # The stencil kernel lowers too cleanly for the classic passes to
+    # matter (address CSE happens in lowering); inlined calls do leave
+    # copies and foldable constants behind.
+    source = """
+array OUT[256] : float;
+var n : int = 256;
+func mix(a: float, b: float) : float {
+    var t : float;
+    t = a * (2.0 * 0.25) + b * (1.0 + 1.0);
+    return t;
+}
+func main() {
+    var i : int;
+    for (i = 1; i < n; i = i + 1) {
+        OUT[i] = mix(float(i), OUT[i - 1]);
+    }
+}
+"""
+    optimized = run_compiled(compile_source(source,
+                                            Options(classic_opts=True)))
+    naive = run_compiled(compile_source(source,
+                                        Options(classic_opts=False)))
+    assert optimized.instructions < naive.instructions
+
+
+def test_unrolling_increases_static_but_reduces_dynamic_branches():
+    plain, plain_metrics = metrics_for()
+    unrolled, unrolled_metrics = metrics_for(unroll=4)
+    assert unrolled.static_instructions > plain.static_instructions
+    assert unrolled_metrics.branches < plain_metrics.branches
+
+
+def test_scheduling_changes_order_not_counts():
+    plain, plain_metrics = metrics_for(scheduler="none")
+    balanced, balanced_metrics = metrics_for(scheduler="balanced")
+    assert plain_metrics.instructions == balanced_metrics.instructions
+    assert balanced_metrics.total_cycles <= plain_metrics.total_cycles
+    # Same multiset of opcodes, different order.
+    plain_ops = sorted(i.op for i in plain.program.instructions)
+    balanced_ops = sorted(i.op for i in balanced.program.instructions)
+    assert plain_ops == balanced_ops
+
+
+def test_locality_marks_do_not_change_counts_by_class():
+    base, base_metrics = metrics_for(scheduler="balanced", unroll=4)
+    la, la_metrics = metrics_for(scheduler="balanced", locality=True)
+    # Different unrolling decisions change totals, but both programs
+    # keep the load/store class structure sane.
+    for result in (base, la):
+        counts = result.program.static_counts()
+        assert counts.get(OpClass.LOAD, 0) > 0
+        assert counts.get(OpClass.STORE, 0) > 0
+        assert counts.get(OpClass.BRANCH, 0) > 0
+
+
+def test_trace_mode_equals_block_mode_when_no_traces_form():
+    source = """
+array OUT[4] : float;
+func main() {
+    OUT[0] = 1.5;
+    OUT[1] = 2.5;
+}
+"""
+    plain = compile_source(source, Options(scheduler="balanced"))
+    traced = compile_source(source, Options(scheduler="balanced",
+                                            trace=True))
+    assert [i.op for i in plain.program.instructions] == \
+        [i.op for i in traced.program.instructions]

@@ -1,0 +1,148 @@
+"""End-to-end semantic preservation: the key pipeline invariant.
+
+For any program, the final simulated memory state must be identical
+under every combination of scheduler and optimization — scheduling and
+the ILP transformations may only change *when* things happen, never
+*what* is computed.
+"""
+
+import pytest
+
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+
+ALL_OPTIONS = [
+    Options(scheduler=sched, unroll=unroll, trace=trace, locality=la)
+    for sched in ("none", "traditional", "balanced")
+    for unroll in (0, 4, 8)
+    for trace in (False, True)
+    for la in (False, True)
+    if not (sched == "none" and trace)
+] + [
+    # The optional CSE/LICM passes must preserve semantics too.
+    Options(scheduler="balanced", unroll=4, extra_opts=True),
+    Options(scheduler="balanced", unroll=8, trace=True, locality=True,
+            extra_opts=True),
+    Options(scheduler="traditional", extra_opts=True),
+]
+
+
+def final_state(source: str, options: Options, symbols: list[str]):
+    result = compile_source(source, options)
+    sim = Simulator(result.program)
+    sim.run(max_instructions=3_000_000)
+    return {name: sim.get_symbol(name) for name in symbols}
+
+
+def assert_equivalent(source: str, symbols: list[str]):
+    reference = final_state(source, ALL_OPTIONS[0], symbols)
+    for options in ALL_OPTIONS[1:]:
+        state = final_state(source, options, symbols)
+        for name in symbols:
+            assert state[name] == pytest.approx(reference[name]), \
+                f"{name} differs under {options.label()}"
+
+
+def test_mixed_kernel_equivalence(small_kernel_source):
+    assert_equivalent(small_kernel_source, ["A", "B", "total"])
+
+
+def test_stencil_equivalence(stencil_source):
+    assert_equivalent(stencil_source, ["U", "V"])
+
+
+def test_branchy_reduction_equivalence():
+    source = """
+array X[64] : float;
+array H[8] : float;
+var n : int = 64;
+var acc : float = 0.0;
+func main() {
+    var i : int; var b : int;
+    for (i = 0; i < n; i = i + 1) {
+        X[i] = float(i * 7 % 23) - 11.0;
+    }
+    for (i = 0; i < n; i = i + 1) {
+        if (X[i] < 0.0) { X[i] = 0.0 - X[i]; }
+        b = int(X[i]) % 8;
+        H[b] = H[b] + 1.0;
+        acc = acc + X[i];
+    }
+}
+"""
+    assert_equivalent(source, ["X", "H", "acc"])
+
+
+def test_inlined_helpers_equivalence():
+    source = """
+array OUT[32] : float;
+var n : int = 32;
+func poly(x: float) : float {
+    var r : float;
+    r = x * x * 0.5 + x * 0.25 + 1.0;
+    return r;
+}
+func clamp(x: float) : float {
+    var r : float;
+    r = x;
+    if (r > 100.0) { r = 100.0; }
+    return r;
+}
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) {
+        OUT[i] = clamp(poly(float(i)));
+    }
+}
+"""
+    assert_equivalent(source, ["OUT"])
+
+
+def test_triangular_loop_equivalence():
+    source = """
+array M[24][24] : float;
+var n : int = 24;
+func main() {
+    var i : int; var j : int;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j <= i; j = j + 1) {
+            M[i][j] = float(i - j) * 0.5 + float(i + j);
+        }
+    }
+}
+"""
+    assert_equivalent(source, ["M"])
+
+
+def test_indirect_indexing_equivalence():
+    source = """
+array IDX[32] : int;
+array SRC[64] : float;
+array DST[32] : float;
+var n : int = 32;
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) {
+        IDX[i] = (i * 13 + 5) % 64;
+        SRC[i] = float(i) * 0.25;
+        SRC[i + 32] = float(i) * 0.75;
+    }
+    for (i = 0; i < n; i = i + 1) {
+        DST[i] = SRC[IDX[i]] * 2.0;
+    }
+}
+"""
+    assert_equivalent(source, ["DST"])
+
+
+def test_while_loop_equivalence():
+    source = """
+array OUT[1] : int;
+func main() {
+    var x : int;
+    x = 1;
+    while (x < 1000) { x = x * 3 + 1; }
+    OUT[0] = x;
+}
+"""
+    assert_equivalent(source, ["OUT"])

@@ -1,0 +1,61 @@
+"""Workload numeric sanity: finite outputs, stable across the grid.
+
+A benchmark whose arrays overflow or go NaN would make cycle counts
+meaningless; these tests pin the numerics of every workload.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+from repro.workloads import WORKLOADS
+
+SMALL = ["DYFESM", "MDG", "ora", "mdljdp2", "doduc", "ear", "QCD2",
+         "BDNA"]
+
+
+def final_arrays(name: str, options: Options) -> dict:
+    result = compile_source(WORKLOADS[name].source, options, name)
+    sim = Simulator(result.program)
+    sim.run()
+    return {sym: sim.get_symbol(sym) for sym in result.program.symbols}
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_outputs_are_finite(name):
+    state = final_arrays(name, Options(scheduler="balanced"))
+    for symbol, values in state.items():
+        if not isinstance(values, list):
+            values = [values]
+        for value in values:
+            assert not isinstance(value, float) or math.isfinite(value), \
+                (symbol, value)
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_outputs_not_all_zero(name):
+    """Each kernel must actually compute something."""
+    state = final_arrays(name, Options(scheduler="balanced"))
+    nonzero = sum(
+        1 for values in state.values()
+        for value in (values if isinstance(values, list) else [values])
+        if value)
+    assert nonzero > 10
+
+
+@pytest.mark.parametrize("name", ["DYFESM", "mdljdp2", "ear"])
+def test_scheduler_choice_does_not_change_results(name):
+    balanced = final_arrays(name, Options(scheduler="balanced"))
+    traditional = final_arrays(name, Options(scheduler="traditional"))
+    assert balanced == traditional
+
+
+@pytest.mark.parametrize("name", ["MDG", "QCD2"])
+def test_full_optimization_stack_preserves_results(name):
+    base = final_arrays(name, Options(scheduler="balanced"))
+    optimized = final_arrays(
+        name, Options(scheduler="balanced", unroll=8, trace=True,
+                      locality=True, extra_opts=True))
+    assert base == optimized

@@ -1,0 +1,134 @@
+"""CFG structure, verification and linearization."""
+
+import pytest
+
+from repro.ir import BasicBlock, Cfg
+from repro.isa import Instruction, Reg
+
+
+def v(i):
+    return Reg("i", i, virtual=True)
+
+
+def ldi(dest, value):
+    return Instruction("LDI", dest=v(dest), imm=value)
+
+
+def diamond() -> Cfg:
+    """entry -> (then | else) -> end."""
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [ldi(0, 1),
+                                       Instruction("BEQ", srcs=(v(0),),
+                                                   label="else")],
+                             fallthrough="then"))
+    cfg.add_block(BasicBlock("then", [ldi(1, 2)], fallthrough="end"))
+    cfg.add_block(BasicBlock("else", [ldi(1, 3)], fallthrough="end"))
+    cfg.add_block(BasicBlock("end", [Instruction("HALT")]))
+    return cfg
+
+
+def test_successors_taken_target_first():
+    cfg = diamond()
+    assert cfg.successors("entry") == ["else", "then"]
+    assert cfg.successors("then") == ["end"]
+    assert cfg.successors("end") == []
+
+
+def test_predecessors():
+    preds = diamond().predecessors()
+    assert sorted(preds["end"]) == ["else", "then"]
+    assert preds["entry"] == []
+
+
+def test_terminator_and_body():
+    cfg = diamond()
+    entry = cfg.block("entry")
+    assert entry.terminator.op == "BEQ"
+    assert len(entry.body) == 1
+    assert cfg.block("then").terminator is None
+
+
+def test_verify_accepts_diamond():
+    diamond().verify()
+
+
+def test_verify_rejects_midblock_branch():
+    cfg = diamond()
+    cfg.block("then").instrs.insert(0, Instruction("BR", label="end"))
+    with pytest.raises(ValueError):
+        cfg.verify()
+
+
+def test_verify_rejects_unknown_successor():
+    cfg = diamond()
+    cfg.block("then").fallthrough = "nowhere"
+    with pytest.raises(ValueError):
+        cfg.verify()
+
+
+def test_verify_rejects_fall_off_the_end():
+    cfg = diamond()
+    cfg.block("then").fallthrough = None
+    with pytest.raises(ValueError):
+        cfg.verify()
+
+
+def test_verify_rejects_missing_entry():
+    cfg = Cfg(entry="missing")
+    cfg.add_block(BasicBlock("a", [Instruction("HALT")]))
+    with pytest.raises(ValueError):
+        cfg.verify()
+
+
+def test_duplicate_block_rejected():
+    cfg = diamond()
+    with pytest.raises(ValueError):
+        cfg.add_block(BasicBlock("entry"))
+
+
+def test_prune_unreachable():
+    cfg = diamond()
+    cfg.add_block(BasicBlock("orphan", [Instruction("HALT")]))
+    removed = cfg.prune_unreachable()
+    assert removed == ["orphan"]
+    assert "orphan" not in cfg.blocks
+
+
+def test_linearize_inserts_branch_for_nonadjacent_fallthrough():
+    cfg = diamond()
+    # Move "then" to the end of layout: entry's fallthrough needs a BR.
+    cfg.order = ["entry", "else", "end", "then"]
+    program = cfg.linearize()
+    entry_end = program.instructions[program.labels["else"] - 1]
+    assert entry_end.op == "BR"
+    assert entry_end.label == "then"
+
+
+def test_linearize_no_branch_when_adjacent():
+    program = diamond().linearize()
+    # entry falls through to then, which is adjacent: no BR after BEQ.
+    index = program.labels["then"]
+    assert program.instructions[index - 1].op == "BEQ"
+
+
+def test_linearize_moves_entry_first():
+    cfg = diamond()
+    cfg.order = ["then", "entry", "else", "end"]
+    program = cfg.linearize()
+    assert program.labels["entry"] == 0
+
+
+def test_new_label_unique():
+    cfg = diamond()
+    labels = {cfg.new_label("x") for _ in range(10)}
+    assert len(labels) == 10
+
+
+def test_add_block_after():
+    cfg = diamond()
+    cfg.add_block(BasicBlock("mid", [Instruction("HALT")]), after="entry")
+    assert cfg.order.index("mid") == cfg.order.index("entry") + 1
+
+
+def test_instruction_count():
+    assert diamond().instruction_count() == 5

@@ -1,0 +1,60 @@
+"""Human-readable dumps: CFG listings, DAG dumps, program listings."""
+
+from repro.frontend import frontend
+from repro.codegen.lower import lower
+from repro.ir import build_dag
+from repro.isa import Instruction, Reg
+
+
+def v(i):
+    return Reg("i", i, virtual=True)
+
+
+SOURCE = """
+array A[8] : float;
+var n : int = 8;
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) { A[i] = float(i); }
+}
+"""
+
+
+def test_cfg_format_shows_blocks_and_fallthroughs():
+    cfg = lower(frontend(SOURCE))
+    text = cfg.format()
+    assert "entry:" in text
+    assert "fallthrough" in text
+    for block in cfg:
+        assert f"{block.label}:" in text
+
+
+def test_program_format_round_trips_labels():
+    cfg = lower(frontend(SOURCE))
+    program = cfg.linearize()
+    text = program.format()
+    for label in program.labels:
+        assert f"{label}:" in text
+    assert text.count("HALT") == 1
+
+
+def test_dag_format_lists_every_node():
+    dag = build_dag([
+        Instruction("LDI", dest=v(0), imm=1),
+        Instruction("ADD", dest=v(1), srcs=(v(0),), imm=2),
+    ])
+    text = dag.format()
+    assert "LDI" in text and "ADD" in text
+    assert "(true)" in text
+
+
+def test_instruction_format_variants():
+    assert "BR" in Instruction("BR", label=".x").format()
+    store = Instruction("ST", srcs=(v(0), v(1)), offset=16)
+    assert "16(" in store.format()
+    ldi = Instruction("FLDI", dest=v(2, ), imm=2.5)
+    # FLDI dest must be fp; rebuild properly:
+    ldi = Instruction("FLDI", dest=Reg("f", 2, True), imm=2.5)
+    assert "2.5" in ldi.format()
+    imm_op = Instruction("SLL", dest=v(3), srcs=(v(0),), imm=4)
+    assert "#4" in imm_op.format()

@@ -1,0 +1,147 @@
+"""Instruction construction, uses/defs, MemRef disambiguation."""
+
+import pytest
+
+from repro.isa import Instruction, Locality, MemRef, Reg, ZERO, ireg
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+class TestValidation:
+    def test_alu_requires_dest(self):
+        with pytest.raises(ValueError):
+            Instruction("ADD", srcs=(v(1), v(2)))
+
+    def test_store_rejects_dest(self):
+        with pytest.raises(ValueError):
+            Instruction("ST", dest=v(0), srcs=(v(1), v(2)))
+
+    def test_branch_requires_label(self):
+        with pytest.raises(ValueError):
+            Instruction("BEQ", srcs=(v(1),))
+
+    def test_wrong_source_count(self):
+        with pytest.raises(ValueError):
+            Instruction("ADD", dest=v(0), srcs=(v(1), v(2), v(3)))
+
+    def test_immediate_substitutes_last_source(self):
+        instr = Instruction("ADD", dest=v(0), srcs=(v(1),), imm=4)
+        assert instr.imm == 4
+
+    def test_missing_immediate_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("ADD", dest=v(0), srcs=(v(1),))
+
+    def test_fp_op_rejects_immediate_shape(self):
+        with pytest.raises(ValueError):
+            Instruction("FADD", dest=v(0, "f"), srcs=(v(1, "f"),), imm=1.0)
+
+    def test_ldi_takes_immediate_only(self):
+        instr = Instruction("LDI", dest=v(0), imm=42)
+        assert instr.imm == 42
+        assert instr.srcs == ()
+
+
+class TestUsesDefs:
+    def test_alu_uses_and_defs(self):
+        instr = Instruction("ADD", dest=v(0), srcs=(v(1), v(2)))
+        assert set(instr.uses()) == {v(1), v(2)}
+        assert instr.defs() == (v(0),)
+
+    def test_zero_register_excluded_from_uses(self):
+        instr = Instruction("SUB", dest=v(0), srcs=(ZERO, v(2)))
+        assert instr.uses() == (v(2),)
+
+    def test_store_has_no_defs(self):
+        instr = Instruction("ST", srcs=(v(1), v(2)), offset=8)
+        assert instr.defs() == ()
+        assert set(instr.uses()) == {v(1), v(2)}
+
+    def test_cmov_reads_destination(self):
+        instr = Instruction("CMOVNE", dest=v(0), srcs=(v(1), v(2)))
+        assert v(0) in instr.uses()
+        assert instr.defs() == (v(0),)
+
+    def test_write_to_zero_register_discarded(self):
+        instr = Instruction("ADD", dest=ireg(31), srcs=(v(1),), imm=1)
+        assert instr.defs() == ()
+
+    def test_load_flags(self):
+        load = Instruction("FLD", dest=v(0, "f"), srcs=(v(1),), offset=16)
+        assert load.is_load and load.is_mem and not load.is_store
+        store = Instruction("FST", srcs=(v(0, "f"), v(1)), offset=16)
+        assert store.is_store and store.is_mem and not store.is_load
+
+
+class TestCopy:
+    def test_copy_gets_fresh_uid(self):
+        instr = Instruction("ADD", dest=v(0), srcs=(v(1),), imm=1)
+        clone = instr.copy()
+        assert clone.uid != instr.uid
+        assert clone.op == instr.op
+        assert clone.srcs == instr.srcs
+
+    def test_copy_with_overrides(self):
+        instr = Instruction("BEQ", srcs=(v(1),), label="a")
+        clone = instr.copy(op="BNE", label="b")
+        assert clone.op == "BNE"
+        assert clone.label == "b"
+
+    def test_copy_preserves_annotations(self):
+        mem = MemRef("data", "A", affine=({}, 3))
+        instr = Instruction("LD", dest=v(0), srcs=(v(1),), mem=mem,
+                            locality=Locality.MISS, group=7, is_spill=True)
+        clone = instr.copy()
+        assert clone.mem is mem
+        assert clone.locality is Locality.MISS
+        assert clone.group == 7
+        assert clone.is_spill
+
+
+class TestMemRef:
+    def test_different_symbols_never_conflict(self):
+        a = MemRef("data", "A", affine=None)
+        b = MemRef("data", "B", affine=None)
+        assert not a.conflicts_with(b)
+
+    def test_different_regions_never_conflict(self):
+        a = MemRef("data", 0, affine=None)
+        b = MemRef("stack", 0, affine=None)
+        assert not a.conflicts_with(b)
+
+    def test_unknown_subscripts_conflict(self):
+        a = MemRef("data", "A", affine=None)
+        b = MemRef("data", "A", affine=({}, 1))
+        assert a.conflicts_with(b)
+        assert b.conflicts_with(a)
+
+    def test_same_affine_conflicts(self):
+        a = MemRef("data", "A", affine=({"i": 1}, 0))
+        b = MemRef("data", "A", affine=({"i": 1}, 0))
+        assert a.conflicts_with(b)
+
+    def test_distinct_constants_are_independent(self):
+        a = MemRef("data", "A", affine=({"i": 1}, 0))
+        b = MemRef("data", "A", affine=({"i": 1}, 1))
+        assert not a.conflicts_with(b)
+
+    def test_different_coefficients_conflict(self):
+        a = MemRef("data", "A", affine=({"i": 1}, 0))
+        b = MemRef("data", "A", affine=({"j": 1}, 1))
+        assert a.conflicts_with(b)
+
+    def test_stack_slots_disambiguate_by_index(self):
+        a = MemRef("stack", 0)
+        b = MemRef("stack", 1)
+        assert not a.conflicts_with(b)
+        assert a.conflicts_with(MemRef("stack", 0))
+
+
+def test_format_includes_annotations():
+    mem = MemRef("data", "A", affine=({}, 0))
+    instr = Instruction("LD", dest=v(0), srcs=(v(1),), offset=8, mem=mem,
+                        locality=Locality.HIT)
+    text = instr.format()
+    assert "LD" in text and "hit" in text and "8(" in text

@@ -1,0 +1,89 @@
+"""Opcode metadata consistency."""
+
+import pytest
+
+from repro.isa import (
+    BRANCH_OPS,
+    COMMUTATIVE_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    OPCODES,
+    STORE_OPS,
+    OpClass,
+    opinfo,
+)
+
+
+def test_every_opcode_has_matching_name():
+    for name, info in OPCODES.items():
+        assert info.name == name
+
+
+def test_loads_and_stores_are_mem_ops():
+    assert LOAD_OPS == {"LD", "FLD"}
+    assert STORE_OPS == {"ST", "FST"}
+    assert MEM_OPS == LOAD_OPS | STORE_OPS
+    for name in MEM_OPS:
+        assert OPCODES[name].is_mem
+
+
+def test_branch_ops_have_branch_class():
+    assert BRANCH_OPS == {"BR", "BEQ", "BNE"}
+    for name in BRANCH_OPS:
+        assert OPCODES[name].opclass is OpClass.BRANCH
+        assert OPCODES[name].is_branch
+        assert not OPCODES[name].has_dest
+
+
+def test_stores_have_no_destination():
+    for name in STORE_OPS:
+        assert not OPCODES[name].has_dest
+
+
+def test_loads_have_destination():
+    for name in LOAD_OPS:
+        assert OPCODES[name].has_dest
+        assert OPCODES[name].nsrc == 1
+
+
+def test_long_latency_classes():
+    assert OPCODES["MUL"].opclass is OpClass.LONG_INT
+    assert OPCODES["DIVQ"].opclass is OpClass.LONG_INT
+    assert OPCODES["FDIV"].opclass is OpClass.LONG_FP
+    assert OPCODES["FADD"].opclass is OpClass.SHORT_FP
+    assert OPCODES["ADD"].opclass is OpClass.SHORT_INT
+
+
+def test_fp_ops_do_not_take_immediates():
+    for name, info in OPCODES.items():
+        if info.dest_fp and info.nsrc == 2:
+            assert not info.imm_ok, name
+
+
+def test_fp_compares_write_integer_registers():
+    for name in ("FCMPEQ", "FCMPNE", "FCMPLT", "FCMPLE"):
+        info = OPCODES[name]
+        assert not info.dest_fp
+        assert info.src_fp == (True, True)
+
+
+def test_cmov_reads_destination():
+    for name in ("CMOVEQ", "CMOVNE", "FCMOVEQ", "FCMOVNE"):
+        assert OPCODES[name].reads_dest
+    assert not OPCODES["ADD"].reads_dest
+
+
+def test_src_fp_length_matches_nsrc():
+    for name, info in OPCODES.items():
+        assert len(info.src_fp) == info.nsrc, name
+
+
+def test_commutative_ops_are_two_source():
+    for name in COMMUTATIVE_OPS:
+        assert OPCODES[name].nsrc == 2
+
+
+def test_opinfo_lookup():
+    assert opinfo("ADD").name == "ADD"
+    with pytest.raises(KeyError):
+        opinfo("BOGUS")

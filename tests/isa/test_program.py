@@ -1,0 +1,59 @@
+"""MachineProgram assembly, labels and listing."""
+
+import pytest
+
+from repro.isa import DataSymbol, Instruction, OpClass, Reg, assemble
+
+
+def v(i):
+    return Reg("i", i, virtual=True)
+
+
+def _chunks():
+    return [
+        ("entry", [Instruction("LDI", dest=v(0), imm=1),
+                   Instruction("BR", label="end")]),
+        ("end", [Instruction("HALT")]),
+    ]
+
+
+def test_assemble_resolves_labels():
+    program = assemble(_chunks())
+    assert program.labels == {"entry": 0, "end": 2}
+    assert len(program) == 3
+    assert program.target_index("end") == 2
+
+
+def test_duplicate_label_rejected():
+    chunks = _chunks() + [("entry", [Instruction("NOP")])]
+    with pytest.raises(ValueError):
+        assemble(chunks)
+
+
+def test_undefined_branch_target_rejected():
+    chunks = [(None, [Instruction("BR", label="nowhere")])]
+    with pytest.raises(ValueError):
+        assemble(chunks)
+
+
+def test_static_counts_by_class():
+    program = assemble(_chunks())
+    counts = program.static_counts()
+    assert counts[OpClass.SHORT_INT] == 1
+    assert counts[OpClass.BRANCH] == 1
+
+
+def test_format_interleaves_labels():
+    text = assemble(_chunks()).format()
+    lines = text.splitlines()
+    assert lines[0] == "entry:"
+    assert "end:" in lines
+    assert any("HALT" in line for line in lines)
+
+
+def test_symbols_carried_through():
+    symbol = DataSymbol(name="A", address=64, size_bytes=128, is_fp=True,
+                        dims=(16,))
+    program = assemble(_chunks(), symbols={"A": symbol})
+    assert program.symbols["A"].address == 64
+    assert program.symbols["A"].dims == (16,)

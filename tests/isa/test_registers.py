@@ -1,0 +1,62 @@
+"""Register interning and virtual register allocation."""
+
+import pytest
+
+from repro.isa import FZERO, SP, ZERO, Reg, VirtualRegAllocator, freg, ireg
+
+
+def test_registers_are_interned():
+    assert ireg(5) is ireg(5)
+    assert freg(7) is freg(7)
+    assert Reg("i", 3, True) is Reg("i", 3, True)
+
+
+def test_distinct_kinds_are_distinct_objects():
+    assert ireg(5) is not freg(5)
+    assert Reg("i", 5) is not Reg("i", 5, virtual=True)
+
+
+def test_zero_registers():
+    assert ZERO.is_zero
+    assert FZERO.is_zero
+    assert FZERO.is_fp
+    assert not ireg(0).is_zero
+    assert not Reg("i", 31, virtual=True).is_zero  # virtual r31 is ordinary
+
+
+def test_stack_pointer_is_r30():
+    assert SP.num == 30
+    assert SP.kind == "i"
+    assert not SP.virtual
+
+
+def test_invalid_registers_rejected():
+    with pytest.raises(ValueError):
+        Reg("x", 0)
+    with pytest.raises(ValueError):
+        Reg("i", -1)
+
+
+def test_repr_distinguishes_virtual_and_physical():
+    assert repr(ireg(4)) == "r4"
+    assert repr(freg(4)) == "f4"
+    assert repr(Reg("i", 4, True)) == "vi4"
+    assert repr(Reg("f", 4, True)) == "vf4"
+
+
+def test_allocator_hands_out_fresh_registers():
+    allocator = VirtualRegAllocator()
+    a = allocator.new_int()
+    b = allocator.new_fp()
+    c = allocator.new_int()
+    assert a.virtual and b.virtual and c.virtual
+    assert a is not c
+    assert a.kind == "i" and b.kind == "f"
+    assert allocator.count == 3
+
+
+def test_reduce_roundtrip_preserves_identity():
+    import pickle
+
+    reg = Reg("f", 12, True)
+    assert pickle.loads(pickle.dumps(reg)) is reg

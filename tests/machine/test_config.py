@@ -1,0 +1,88 @@
+"""Machine configuration: paper Tables 2-3 constants, simple model."""
+
+from repro.isa import OPCODES
+from repro.machine import (
+    DEFAULT_CONFIG,
+    INSTRUCTION_LATENCIES,
+    OP_LATENCY,
+    MachineConfig,
+)
+from repro.machine.config import simple_stochastic_config
+
+
+class TestTable3Latencies:
+    def test_paper_values(self):
+        assert INSTRUCTION_LATENCIES["integer op"] == 1
+        assert INSTRUCTION_LATENCIES["integer multiply"] == 8
+        assert INSTRUCTION_LATENCIES["load"] == 2
+        assert INSTRUCTION_LATENCIES["store"] == 1
+        assert INSTRUCTION_LATENCIES["fp op"] == 4
+        assert INSTRUCTION_LATENCIES["fp divide (single)"] == 17
+        assert INSTRUCTION_LATENCIES["fp divide (double)"] == 30
+        assert INSTRUCTION_LATENCIES["branch"] == 2
+
+    def test_every_opcode_has_a_latency(self):
+        assert set(OP_LATENCY) == set(OPCODES)
+
+    def test_representative_opcodes(self):
+        assert OP_LATENCY["ADD"] == 1
+        assert OP_LATENCY["MUL"] == 8
+        assert OP_LATENCY["FADD"] == 4
+        assert OP_LATENCY["FDIV"] == 30
+        assert OP_LATENCY["LD"] == 2
+        assert OP_LATENCY["ST"] == 1
+
+
+class TestTable2Memory:
+    def test_hierarchy_geometry(self):
+        config = DEFAULT_CONFIG
+        assert config.l1d.size_bytes == 8 * 1024
+        assert config.l1d.assoc == 1
+        assert config.l1d.line_bytes == 32
+        assert config.l1d.latency == 2
+        assert config.l2.size_bytes == 96 * 1024
+        assert config.l2.assoc == 3
+        assert config.memory_latency == 50      # the paper's max latency
+
+    def test_weight_cap_equals_memory_latency(self):
+        assert DEFAULT_CONFIG.max_load_weight == 50
+        assert DEFAULT_CONFIG.load_hit_latency == 2
+
+    def test_memory_table_rows(self):
+        rows = DEFAULT_CONFIG.memory_table()
+        names = [row[0] for row in rows]
+        assert names == ["L1D", "L1I", "L2", "L3", "Memory",
+                         "D-TLB", "I-TLB"]
+
+    def test_latencies_strictly_increase_down_the_hierarchy(self):
+        config = DEFAULT_CONFIG
+        assert config.l1d.latency < config.l2.latency \
+            < config.l3.latency < config.memory_latency
+
+
+class TestSimpleModel:
+    def test_flat_latencies_except_loads(self):
+        config = simple_stochastic_config()
+        assert config.op_latency["MUL"] == 1
+        assert config.op_latency["FDIV"] == 1
+        assert config.op_latency["LD"] == 2
+
+    def test_idealizations(self):
+        config = simple_stochastic_config()
+        assert config.perfect_icache
+        assert config.perfect_dtlb
+        assert config.memory_model == "stochastic"
+
+    def test_hit_rate_parameter(self):
+        config = simple_stochastic_config(hit_rate=0.8)
+        assert config.stochastic_hit_rate == 0.8
+
+    def test_default_config_untouched(self):
+        simple_stochastic_config()
+        assert DEFAULT_CONFIG.memory_model == "hierarchy"
+        assert DEFAULT_CONFIG.op_latency["MUL"] == 8
+
+    def test_config_is_immutable(self):
+        import pytest
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.memory_latency = 10  # frozen dataclass

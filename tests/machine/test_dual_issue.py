@@ -1,0 +1,85 @@
+"""Multi-issue extension: width-2 timing semantics."""
+
+from dataclasses import replace
+
+from repro.isa import DataSymbol, Instruction, Reg, assemble
+from repro.machine import DEFAULT_CONFIG, Simulator
+
+WIDE = replace(DEFAULT_CONFIG, issue_width=2)
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def run(instrs, config=DEFAULT_CONFIG, symbols=None):
+    program = assemble([("entry", list(instrs) + [Instruction("HALT")])],
+                       symbols=symbols,
+                       data_size=max((s.address + s.size_bytes
+                                      for s in (symbols or {}).values()),
+                                     default=0))
+    sim = Simulator(program, config=config)
+    return sim, sim.run()
+
+
+def test_width2_pairs_independent_instructions():
+    instrs = [Instruction("LDI", dest=v(i), imm=i) for i in range(8)]
+    _, narrow = run(instrs)
+    _, wide = run(instrs, config=WIDE)
+    useful_narrow = narrow.total_cycles - narrow.icache_stall_cycles
+    useful_wide = wide.total_cycles - wide.icache_stall_cycles
+    assert useful_wide < useful_narrow
+    # 8 independent LDIs: 4 cycles at width 2 (plus the HALT).
+    assert useful_wide <= useful_narrow // 2 + 2
+
+
+def test_width2_preserves_semantics():
+    instrs = [
+        Instruction("LDI", dest=v(0), imm=6),
+        Instruction("LDI", dest=v(1), imm=7),
+        Instruction("MUL", dest=v(2), srcs=(v(0), v(1))),
+        Instruction("ADD", dest=v(3), srcs=(v(2),), imm=1),
+    ]
+    sim, _ = run(instrs, config=WIDE)
+    assert sim.reg_value(v(2)) == 42
+    assert sim.reg_value(v(3)) == 43
+
+
+def test_dependent_chain_gains_nothing_from_width():
+    chain = [Instruction("LDI", dest=v(0), imm=1)]
+    chain += [Instruction("ADD", dest=v(i + 1), srcs=(v(i),), imm=1)
+              for i in range(10)]
+    _, narrow = run(chain)
+    _, wide = run(chain, config=WIDE)
+    useful_narrow = narrow.total_cycles - narrow.icache_stall_cycles
+    useful_wide = wide.total_cycles - wide.icache_stall_cycles
+    # A serial chain issues one per cycle regardless of width (small
+    # slack: the ends of the chain pair with LDI/HALT).
+    assert useful_wide >= useful_narrow - 2
+
+
+def test_single_memory_port_serializes_mem_ops():
+    symbols = {"A": DataSymbol(name="A", address=64, size_bytes=256,
+                               is_fp=False, dims=(32,))}
+    mems = [Instruction("LDI", dest=v(0), imm=64)]
+    mems += [Instruction("LD", dest=v(1 + i), srcs=(v(0),), offset=8 * i)
+             for i in range(8)]
+    _, wide = run(mems, config=WIDE)
+    alus = [Instruction("LDI", dest=v(100 + i), imm=i) for i in range(8)]
+    _, wide_alu = run([Instruction("LDI", dest=v(0), imm=64)] + alus,
+                      config=WIDE)
+    useful_mem = wide.total_cycles - wide.icache_stall_cycles
+    useful_alu = wide_alu.total_cycles - wide_alu.icache_stall_cycles
+    # Loads are limited to one per cycle; plain ALU ops pair freely.
+    assert useful_mem > useful_alu
+
+
+def test_width1_unchanged_by_extension_fields():
+    """The default config must behave exactly like the paper's model."""
+    instrs = [
+        Instruction("LDI", dest=v(0), imm=3),
+        Instruction("MUL", dest=v(1), srcs=(v(0), v(0))),
+        Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+    ]
+    _, metrics = run(instrs)
+    assert metrics.fixed_interlock_cycles == 7

@@ -1,0 +1,53 @@
+"""Instruction-cache behaviour: code footprint effects (paper: doduc's
+unroll-by-8 regression came from instruction-cache pressure)."""
+
+from repro.isa import Instruction, Reg, assemble
+from repro.machine import DEFAULT_CONFIG, Simulator
+
+
+def v(i):
+    return Reg("i", i, virtual=True)
+
+
+def looped_straightline(n_body: int, iterations: int):
+    """A loop over a straight-line body of *n_body* instructions."""
+    body = [Instruction("ADD", dest=v(1 + i % 8), srcs=(v(0),), imm=i)
+            for i in range(n_body)]
+    return assemble([
+        ("entry", [Instruction("LDI", dest=v(0), imm=0)]),
+        ("loop", body + [
+            Instruction("ADD", dest=v(0), srcs=(v(0),), imm=1),
+            Instruction("CMPLT", dest=v(9), srcs=(v(0),),
+                        imm=iterations),
+            Instruction("BNE", srcs=(v(9),), label="loop"),
+        ]),
+        ("exit", [Instruction("HALT")]),
+    ])
+
+
+def icache_stalls_per_instruction(n_body: int) -> float:
+    program = looped_straightline(n_body, iterations=30)
+    metrics = Simulator(program).run()
+    return metrics.icache_stall_cycles / metrics.instructions
+
+
+def test_small_loops_fit_in_the_icache():
+    # 200 instructions = 800 bytes: cold misses once, then hits.
+    assert icache_stalls_per_instruction(200) < 0.2
+
+
+def test_oversized_loops_thrash_the_icache():
+    # 4096 instructions = 16 KB of code vs an 8 KB I-cache: the loop
+    # re-misses every iteration.
+    capacity_instrs = DEFAULT_CONFIG.l1i.size_bytes // 4
+    small = icache_stalls_per_instruction(capacity_instrs // 2)
+    large = icache_stalls_per_instruction(capacity_instrs * 2)
+    assert large > 4 * small
+
+
+def test_icache_stalls_counted_separately_from_interlocks():
+    program = looped_straightline(4096, iterations=3)
+    metrics = Simulator(program).run()
+    assert metrics.icache_stall_cycles > 0
+    # Independent ADDs: no data interlocks regardless of fetch stalls.
+    assert metrics.load_interlock_cycles == 0

@@ -1,0 +1,42 @@
+"""Metrics container behaviour."""
+
+from repro.machine import CacheStats, Metrics
+
+
+def test_cache_stats_derived_values():
+    stats = CacheStats(accesses=10, misses=3)
+    assert stats.hits == 7
+    assert stats.miss_rate == 0.3
+    assert CacheStats().miss_rate == 0.0
+
+
+def test_interlock_totals():
+    metrics = Metrics(total_cycles=100, load_interlock_cycles=20,
+                      fixed_interlock_cycles=5)
+    assert metrics.interlock_cycles == 25
+    assert metrics.load_interlock_fraction == 0.2
+
+
+def test_load_fraction_zero_when_no_cycles():
+    assert Metrics().load_interlock_fraction == 0.0
+
+
+def test_class_counts_keys():
+    metrics = Metrics(short_int=1, long_int=2, short_fp=3, long_fp=4,
+                      loads=5, stores=6, branches=7, spill_loads=1,
+                      spill_stores=2)
+    counts = metrics.class_counts()
+    assert counts["long_int"] == 2
+    assert counts["spill_stores"] == 2
+    assert set(counts) == {"short_int", "long_int", "short_fp", "long_fp",
+                           "loads", "stores", "branches", "spill_loads",
+                           "spill_stores"}
+
+
+def test_summary_mentions_key_counters():
+    metrics = Metrics(total_cycles=1234, instructions=1000,
+                      load_interlock_cycles=99)
+    text = metrics.summary()
+    assert "1234" in text
+    assert "99" in text
+    assert "load interlocks" in text

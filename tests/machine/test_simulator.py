@@ -1,0 +1,361 @@
+"""Execution-driven simulator: semantics, timing, stall attribution."""
+
+import pytest
+
+from repro.isa import DataSymbol, Instruction, MemRef, Reg, assemble, ireg
+from repro.machine import DEFAULT_CONFIG, SimulationError, Simulator
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def run_instrs(instrs, symbols=None, arrays=None):
+    program = assemble([("entry", list(instrs) + [Instruction("HALT")])],
+                       symbols=symbols,
+                       data_size=max((s.address + s.size_bytes
+                                      for s in (symbols or {}).values()),
+                                     default=0))
+    sim = Simulator(program)
+    for name, values in (arrays or {}).items():
+        sim.set_symbol(name, values)
+    metrics = sim.run()
+    return sim, metrics
+
+
+def sym(name="A", address=64, elems=16, is_fp=True):
+    return {name: DataSymbol(name=name, address=address,
+                             size_bytes=elems * 8, is_fp=is_fp,
+                             dims=(elems,))}
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("ADD", 7, 5, 12), ("SUB", 7, 5, 2), ("MUL", 7, 5, 35),
+        ("AND", 6, 3, 2), ("OR", 6, 3, 7), ("XOR", 6, 3, 5),
+        ("SLL", 3, 2, 12), ("SRA", -8, 1, -4),
+        ("CMPEQ", 4, 4, 1), ("CMPNE", 4, 4, 0),
+        ("CMPLT", 3, 4, 1), ("CMPLE", 4, 4, 1),
+        ("DIVQ", 17, 5, 3), ("REMQ", 17, 5, 2),
+        ("DIVQ", -17, 5, -3), ("REMQ", -17, 5, -2),
+    ])
+    def test_int_ops(self, op, a, b, expected):
+        sim, _ = run_instrs([
+            Instruction("LDI", dest=v(0), imm=a),
+            Instruction("LDI", dest=v(1), imm=b),
+            Instruction(op, dest=v(2), srcs=(v(0), v(1))),
+        ])
+        assert sim.reg_value(v(2)) == expected
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("FADD", 1.5, 2.25, 3.75), ("FSUB", 1.5, 0.25, 1.25),
+        ("FMUL", 1.5, 2.0, 3.0), ("FDIV", 3.0, 2.0, 1.5),
+        ("FCMPLT", 1.0, 2.0, 1), ("FCMPLE", 2.0, 2.0, 1),
+        ("FCMPEQ", 2.0, 3.0, 0), ("FCMPNE", 2.0, 3.0, 1),
+    ])
+    def test_fp_ops(self, op, a, b, expected):
+        dest_kind = "i" if op.startswith("FCMP") else "f"
+        sim, _ = run_instrs([
+            Instruction("FLDI", dest=v(0, "f"), imm=a),
+            Instruction("FLDI", dest=v(1, "f"), imm=b),
+            Instruction(op, dest=v(2, dest_kind), srcs=(v(0, "f"),
+                                                        v(1, "f"))),
+        ])
+        assert sim.reg_value(v(2, dest_kind)) == expected
+
+    def test_srl_is_logical(self):
+        sim, _ = run_instrs([
+            Instruction("LDI", dest=v(0), imm=-8),
+            Instruction("LDI", dest=v(1), imm=60),
+            Instruction("SRL", dest=v(2), srcs=(v(0), v(1))),
+        ])
+        assert sim.reg_value(v(2)) == 15
+
+    def test_immediate_operand(self):
+        sim, _ = run_instrs([
+            Instruction("LDI", dest=v(0), imm=40),
+            Instruction("ADD", dest=v(1), srcs=(v(0),), imm=2),
+        ])
+        assert sim.reg_value(v(1)) == 42
+
+    def test_conversions(self):
+        sim, _ = run_instrs([
+            Instruction("LDI", dest=v(0), imm=3),
+            Instruction("CVTIF", dest=v(1, "f"), srcs=(v(0),)),
+            Instruction("FLDI", dest=v(2, "f"), imm=2.75),
+            Instruction("CVTFI", dest=v(3), srcs=(v(2, "f"),)),
+        ])
+        assert sim.reg_value(v(1, "f")) == 3.0
+        assert sim.reg_value(v(3)) == 2
+
+    def test_zero_register_reads_zero(self):
+        sim, _ = run_instrs([
+            Instruction("LDI", dest=v(0), imm=5),
+            Instruction("SUB", dest=v(1), srcs=(ireg(31), v(0))),
+        ])
+        assert sim.reg_value(v(1)) == -5
+
+    def test_cmov(self):
+        sim, _ = run_instrs([
+            Instruction("LDI", dest=v(0), imm=1),      # condition true
+            Instruction("LDI", dest=v(1), imm=10),
+            Instruction("LDI", dest=v(2), imm=20),
+            Instruction("CMOVNE", dest=v(1), srcs=(v(0), v(2))),
+            Instruction("LDI", dest=v(3), imm=0),      # condition false
+            Instruction("LDI", dest=v(4), imm=30),
+            Instruction("CMOVNE", dest=v(4), srcs=(v(3), v(2))),
+        ])
+        assert sim.reg_value(v(1)) == 20
+        assert sim.reg_value(v(4)) == 30
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            run_instrs([
+                Instruction("LDI", dest=v(0), imm=1),
+                Instruction("LDI", dest=v(1), imm=0),
+                Instruction("DIVQ", dest=v(2), srcs=(v(0), v(1))),
+            ])
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        sim, _ = run_instrs([
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("FLDI", dest=v(1, "f"), imm=2.5),
+            Instruction("FST", srcs=(v(1, "f"), v(0)), offset=8),
+            Instruction("FLD", dest=v(2, "f"), srcs=(v(0),), offset=8),
+        ], symbols=sym())
+        assert sim.reg_value(v(2, "f")) == 2.5
+        assert sim.get_symbol("A")[1] == 2.5
+
+    def test_set_symbol_nested(self):
+        symbols = {"M": DataSymbol(name="M", address=64, size_bytes=32,
+                                   is_fp=True, dims=(2, 2))}
+        sim, _ = run_instrs([Instruction("NOP")], symbols=symbols,
+                            arrays={"M": [[1.0, 2.0], [3.0, 4.0]]})
+        assert sim.get_symbol("M") == [1.0, 2.0, 3.0, 4.0]
+
+    def test_out_of_range_load_raises(self):
+        with pytest.raises(SimulationError):
+            run_instrs([
+                Instruction("LDI", dest=v(0), imm=10 ** 9),
+                Instruction("LD", dest=v(1), srcs=(v(0),), offset=0),
+            ])
+
+    def test_negative_address_raises(self):
+        with pytest.raises(SimulationError):
+            run_instrs([
+                Instruction("LDI", dest=v(0), imm=-8),
+                Instruction("LD", dest=v(1), srcs=(v(0),), offset=0),
+            ])
+
+
+class TestTiming:
+    def test_single_issue_baseline(self):
+        _, metrics = run_instrs([
+            Instruction("LDI", dest=v(i), imm=i) for i in range(10)
+        ])
+        # Ten independent LDIs + HALT: one per cycle, plus cold-start
+        # instruction-fetch stalls (ITLB + I-cache compulsory misses).
+        assert metrics.total_cycles == 11 + metrics.icache_stall_cycles
+        assert metrics.interlock_cycles == 0
+
+    def test_fixed_latency_interlock_attribution(self):
+        _, metrics = run_instrs([
+            Instruction("LDI", dest=v(0), imm=3),
+            Instruction("MUL", dest=v(1), srcs=(v(0), v(0))),
+            Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+        ])
+        # MUL latency 8: consumer waits 7 extra cycles.
+        assert metrics.fixed_interlock_cycles == 7
+        assert metrics.load_interlock_cycles == 0
+
+    def test_load_interlock_attribution(self):
+        _, metrics = run_instrs([
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("LD", dest=v(1), srcs=(v(0),), offset=0),
+            Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+        ], symbols=sym(is_fp=False))
+        assert metrics.load_interlock_cycles > 0
+        assert metrics.fixed_interlock_cycles == 0
+
+    def test_nonblocking_loads_overlap(self):
+        """Two misses to different lines overlap; serial uses stall twice."""
+        symbols = sym(elems=64)
+        overlapped = [
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("FLD", dest=v(1, "f"), srcs=(v(0),), offset=0),
+            Instruction("FLD", dest=v(2, "f"), srcs=(v(0),), offset=256),
+            Instruction("FADD", dest=v(3, "f"), srcs=(v(1, "f"),
+                                                      v(2, "f"))),
+        ]
+        _, m_overlap = run_instrs(overlapped, symbols=symbols)
+        serial = [
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("FLD", dest=v(1, "f"), srcs=(v(0),), offset=0),
+            Instruction("FADD", dest=v(4, "f"), srcs=(v(1, "f"),
+                                                      v(1, "f"))),
+            Instruction("FLD", dest=v(2, "f"), srcs=(v(0),), offset=256),
+            Instruction("FADD", dest=v(3, "f"), srcs=(v(2, "f"),
+                                                      v(2, "f"))),
+        ]
+        _, m_serial = run_instrs(serial, symbols=symbols)
+        assert m_overlap.load_interlock_cycles < \
+            m_serial.load_interlock_cycles
+
+    def test_independent_work_hides_load_latency(self):
+        symbols = sym(elems=64)
+        stalled = [
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("FLD", dest=v(1, "f"), srcs=(v(0),), offset=0),
+            Instruction("FADD", dest=v(2, "f"), srcs=(v(1, "f"),
+                                                      v(1, "f"))),
+        ] + [Instruction("LDI", dest=v(10 + i), imm=i) for i in range(12)]
+        hidden = [
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("FLD", dest=v(1, "f"), srcs=(v(0),), offset=0),
+        ] + [Instruction("LDI", dest=v(10 + i), imm=i) for i in range(12)] \
+          + [Instruction("FADD", dest=v(2, "f"), srcs=(v(1, "f"),
+                                                       v(1, "f")))]
+        _, m_stalled = run_instrs(stalled, symbols=symbols)
+        _, m_hidden = run_instrs(hidden, symbols=symbols)
+        assert m_hidden.load_interlock_cycles < \
+            m_stalled.load_interlock_cycles
+        assert m_hidden.total_cycles < m_stalled.total_cycles
+
+    def test_mshr_limit_stalls_extra_misses(self):
+        config = DEFAULT_CONFIG
+        symbols = {"BIG": DataSymbol(name="BIG", address=64,
+                                     size_bytes=64 * 1024, is_fp=True,
+                                     dims=(8192,))}
+        # Issue more concurrent misses than there are MSHRs.
+        instrs = [Instruction("LDI", dest=v(0), imm=64)]
+        for i in range(config.mshr_entries + 3):
+            instrs.append(Instruction(
+                "FLD", dest=v(1 + i, "f"), srcs=(v(0),),
+                offset=i * 4096))
+        _, metrics = run_instrs(instrs, symbols=symbols)
+        assert metrics.mshr_stall_cycles > 0
+
+    def test_second_sweep_hits_in_cache(self):
+        symbols = sym(elems=4)
+        loads = [Instruction("LDI", dest=v(0), imm=64)]
+        loads += [Instruction("FLD", dest=v(1 + i, "f"), srcs=(v(0),),
+                              offset=8 * i) for i in range(4)]
+        loads += [Instruction("FLD", dest=v(10 + i, "f"), srcs=(v(0),),
+                              offset=8 * i) for i in range(4)]
+        _, metrics = run_instrs(loads, symbols=symbols)
+        assert metrics.l1d.misses == 1          # one line, one cold miss
+        assert metrics.l1d.accesses == 8
+
+
+class TestControl:
+    def test_branch_taken_and_fallthrough(self):
+        program = assemble([
+            ("entry", [
+                Instruction("LDI", dest=v(0), imm=0),
+                Instruction("BEQ", srcs=(v(0),), label="skip"),
+                Instruction("LDI", dest=v(1), imm=111),
+            ]),
+            ("skip", [
+                Instruction("LDI", dest=v(2), imm=222),
+                Instruction("HALT"),
+            ]),
+        ])
+        sim = Simulator(program)
+        sim.run()
+        assert sim.reg_value(v(1)) == 0        # skipped
+        assert sim.reg_value(v(2)) == 222
+
+    def test_loop_executes_n_times(self):
+        program = assemble([
+            ("entry", [
+                Instruction("LDI", dest=v(0), imm=0),
+            ]),
+            ("loop", [
+                Instruction("ADD", dest=v(0), srcs=(v(0),), imm=1),
+                Instruction("CMPLT", dest=v(1), srcs=(v(0),), imm=10),
+                Instruction("BNE", srcs=(v(1),), label="loop"),
+                Instruction("HALT"),
+            ]),
+        ])
+        sim = Simulator(program)
+        metrics = sim.run()
+        assert sim.reg_value(v(0)) == 10
+        assert metrics.branches == 10
+
+    def test_mispredicts_counted(self):
+        # A data-dependent alternating branch defeats the predictor.
+        program = assemble([
+            ("entry", [Instruction("LDI", dest=v(0), imm=0)]),
+            ("loop", [
+                Instruction("ADD", dest=v(0), srcs=(v(0),), imm=1),
+                Instruction("REMQ", dest=v(2), srcs=(v(0),), imm=2),
+                Instruction("BEQ", srcs=(v(2),), label="even"),
+            ]),
+            ("even", [
+                Instruction("CMPLT", dest=v(1), srcs=(v(0),), imm=40),
+                Instruction("BNE", srcs=(v(1),), label="loop"),
+                Instruction("HALT"),
+            ]),
+        ])
+        program.instructions  # noqa: B018 - touch for clarity
+        sim = Simulator(program)
+        metrics = sim.run()
+        assert metrics.branch_mispredicts > 5
+
+    def test_instruction_limit_enforced(self):
+        program = assemble([
+            ("loop", [Instruction("BR", label="loop")]),
+        ])
+        with pytest.raises(SimulationError):
+            Simulator(program).run(max_instructions=100)
+
+
+class TestProfiling:
+    def test_block_and_edge_counts(self):
+        program = assemble([
+            ("entry", [Instruction("LDI", dest=v(0), imm=0)]),
+            ("loop", [
+                Instruction("ADD", dest=v(0), srcs=(v(0),), imm=1),
+                Instruction("CMPLT", dest=v(1), srcs=(v(0),), imm=5),
+                Instruction("BNE", srcs=(v(1),), label="loop"),
+            ]),
+            ("exit", [Instruction("HALT")]),
+        ])
+        sim = Simulator(program, profile=True)
+        sim.run()
+        assert sim.block_counts["loop"] == 5
+        assert sim.block_counts["entry"] == 1
+        assert sim.edge_counts[("loop", "loop")] == 4
+        assert sim.edge_counts[("loop", "exit")] == 1
+
+
+class TestCounts:
+    def test_class_counts(self):
+        _, metrics = run_instrs([
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("MUL", dest=v(1), srcs=(v(0), v(0))),
+            Instruction("FLDI", dest=v(2, "f"), imm=1.0),
+            Instruction("FDIV", dest=v(3, "f"), srcs=(v(2, "f"),
+                                                      v(2, "f"))),
+            Instruction("FLD", dest=v(4, "f"), srcs=(v(0),), offset=0),
+            Instruction("FST", srcs=(v(4, "f"), v(0)), offset=8),
+        ], symbols=sym())
+        assert metrics.long_int == 1
+        assert metrics.long_fp == 1
+        assert metrics.loads == 1
+        assert metrics.stores == 1
+        assert metrics.short_fp >= 1       # the FLDI
+
+    def test_spill_instructions_counted(self):
+        spill_mem = MemRef("stack", 0)
+        _, metrics = run_instrs([
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("ST", srcs=(v(0), v(0)), offset=0, mem=spill_mem,
+                        is_spill=True),
+            Instruction("LD", dest=v(1), srcs=(v(0),), offset=0,
+                        mem=spill_mem, is_spill=True),
+        ], symbols=sym(is_fp=False))
+        assert metrics.spill_stores == 1
+        assert metrics.spill_loads == 1

@@ -1,0 +1,103 @@
+"""Simulator public API: symbols, register access, misuse handling."""
+
+import pytest
+
+from repro.isa import DataSymbol, Instruction, Reg, assemble
+from repro.machine import Simulator
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def trivial_program(symbols=None):
+    return assemble([("entry", [Instruction("HALT")])],
+                    symbols=symbols or {},
+                    data_size=max((s.address + s.size_bytes
+                                   for s in (symbols or {}).values()),
+                                  default=0))
+
+
+def matrix_symbol():
+    return {"M": DataSymbol(name="M", address=64, size_bytes=4 * 8,
+                            is_fp=True, dims=(2, 2))}
+
+
+class TestSymbols:
+    def test_set_and_get_flat(self):
+        sim = Simulator(trivial_program(matrix_symbol()))
+        sim.set_symbol("M", [1.0, 2.0, 3.0, 4.0])
+        assert sim.get_symbol("M") == [1.0, 2.0, 3.0, 4.0]
+
+    def test_set_nested_and_scalars_coerced(self):
+        sim = Simulator(trivial_program(matrix_symbol()))
+        sim.set_symbol("M", [[1, 2], [3, 4]])       # ints -> floats
+        assert sim.get_symbol("M") == [1.0, 2.0, 3.0, 4.0]
+
+    def test_int_symbol_coerces_floats(self):
+        symbols = {"K": DataSymbol(name="K", address=64, size_bytes=16,
+                                   is_fp=False, dims=(2,))}
+        sim = Simulator(trivial_program(symbols))
+        sim.set_symbol("K", [1.9, 2.1])
+        assert sim.get_symbol("K") == [1, 2]
+
+    def test_scalar_symbol_roundtrip(self):
+        symbols = {"s": DataSymbol(name="s", address=64, size_bytes=8,
+                                   is_fp=True)}
+        sim = Simulator(trivial_program(symbols))
+        sim.set_symbol("s", 7.25)
+        assert sim.get_symbol("s") == 7.25
+
+    def test_too_many_values_rejected(self):
+        sim = Simulator(trivial_program(matrix_symbol()))
+        with pytest.raises(ValueError):
+            sim.set_symbol("M", [0.0] * 5)
+
+    def test_unknown_symbol_rejected(self):
+        sim = Simulator(trivial_program(matrix_symbol()))
+        with pytest.raises(KeyError):
+            sim.set_symbol("NOPE", [1.0])
+
+    def test_initial_values_applied_at_construction(self):
+        symbols = matrix_symbol()
+        symbols["M"].initial = [9.0, 8.0, 7.0, 6.0]
+        sim = Simulator(trivial_program(symbols))
+        assert sim.get_symbol("M") == [9.0, 8.0, 7.0, 6.0]
+
+    def test_fp_arrays_zero_filled(self):
+        sim = Simulator(trivial_program(matrix_symbol()))
+        assert sim.get_symbol("M") == [0.0, 0.0, 0.0, 0.0]
+        assert all(isinstance(value, float)
+                   for value in sim.get_symbol("M"))
+
+
+class TestRegisters:
+    def test_untouched_register_reads_zero(self):
+        sim = Simulator(trivial_program())
+        assert sim.reg_value(v(5)) == 0
+        assert sim.reg_value(v(5, "f")) == 0.0
+
+    def test_zero_registers_always_zero(self):
+        from repro.isa import FZERO, ZERO
+        sim = Simulator(trivial_program())
+        assert sim.reg_value(ZERO) == 0
+        assert sim.reg_value(FZERO) == 0.0
+
+    def test_stack_pointer_initialized(self):
+        from repro.isa import SP
+        program = assemble([("entry", [
+            Instruction("ADD", dest=v(0), srcs=(SP,), imm=0),
+            Instruction("HALT"),
+        ])])
+        sim = Simulator(program)
+        sim.run()
+        assert sim.reg_value(v(0)) == sim.stack_base
+        assert sim.stack_base % 8 == 0
+
+
+def test_metrics_accessible_before_and_after_run():
+    sim = Simulator(trivial_program())
+    assert sim.metrics.total_cycles == 0
+    metrics = sim.run()
+    assert metrics is sim.metrics
+    assert metrics.instructions == 1

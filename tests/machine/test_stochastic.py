@@ -1,0 +1,85 @@
+"""The stochastic memory model (Kerns & Eggers simple machine)."""
+
+from dataclasses import replace
+
+from repro.isa import DataSymbol, Instruction, Reg, assemble
+from repro.machine import Simulator
+from repro.machine.config import simple_stochastic_config
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def load_heavy_program(n_loads=200):
+    symbols = {"A": DataSymbol(name="A", address=64,
+                               size_bytes=n_loads * 8, is_fp=True,
+                               dims=(n_loads,))}
+    instrs = [Instruction("LDI", dest=v(0), imm=64)]
+    for i in range(n_loads):
+        instrs.append(Instruction("FLD", dest=v(1 + i % 20, "f"),
+                                  srcs=(v(0),), offset=8 * i))
+    instrs.append(Instruction("HALT"))
+    return assemble([("entry", instrs)], symbols=symbols,
+                    data_size=64 + n_loads * 8)
+
+
+def test_hit_rate_controls_miss_count():
+    program = load_heavy_program()
+    low = Simulator(program, config=simple_stochastic_config(0.5))
+    high = Simulator(program, config=simple_stochastic_config(0.95))
+    low.run()
+    high.run()
+    assert low.l1d.stats.misses > high.l1d.stats.misses
+    # Roughly the configured rates (binomial, wide margins).
+    assert 60 <= low.l1d.stats.misses <= 140
+    assert high.l1d.stats.misses <= 30
+
+
+def test_miss_latencies_cluster_around_mean():
+    config = simple_stochastic_config(hit_rate=0.0, miss_mean=20.0,
+                                      miss_std=2.0)
+    sim = Simulator(load_heavy_program(50), config=config)
+    latencies = [sim._stochastic_latency() for _ in range(300)]
+    mean = sum(latencies) / len(latencies)
+    assert 18.0 < mean < 22.0
+    assert all(lat > config.l1d.latency for lat in latencies)
+
+
+def test_deterministic_across_runs():
+    program = load_heavy_program()
+    config = simple_stochastic_config(0.8)
+    a = Simulator(program, config=config).run().total_cycles
+    b = Simulator(program, config=config).run().total_cycles
+    assert a == b
+
+
+def test_perfect_icache_removes_fetch_stalls():
+    program = load_heavy_program()
+    simple = Simulator(program, config=simple_stochastic_config(0.9))
+    metrics = simple.run()
+    assert metrics.icache_stall_cycles == 0
+
+
+def test_stores_have_no_cache_side_effects():
+    symbols = {"A": DataSymbol(name="A", address=64, size_bytes=64,
+                               is_fp=True, dims=(8,))}
+    instrs = [
+        Instruction("LDI", dest=v(0), imm=64),
+        Instruction("FLDI", dest=v(1, "f"), imm=3.5),
+        Instruction("FST", srcs=(v(1, "f"), v(0)), offset=0),
+        Instruction("FLD", dest=v(2, "f"), srcs=(v(0),), offset=0),
+        Instruction("HALT"),
+    ]
+    program = assemble([("entry", instrs)], symbols=symbols, data_size=128)
+    sim = Simulator(program, config=simple_stochastic_config(1.0))
+    sim.run()
+    assert sim.reg_value(v(2, "f")) == 3.5
+
+
+def test_hit_rate_one_gives_uniform_hit_latency():
+    program = load_heavy_program(50)
+    sim = Simulator(program, config=simple_stochastic_config(1.0))
+    metrics = sim.run()
+    assert metrics.l1d.misses == 0
+    assert metrics.load_interlock_cycles == 0   # no consumers -> no stalls

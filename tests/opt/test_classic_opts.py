@@ -1,0 +1,199 @@
+"""Constant folding, copy propagation, dead-code elimination."""
+
+from repro.ir import BasicBlock, Cfg
+from repro.isa import Instruction, Reg
+from repro.opt import eliminate_dead_code, fold_constants, propagate_copies
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def single_block(instrs) -> Cfg:
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", list(instrs) + [Instruction("HALT")]))
+    return cfg
+
+
+class TestConstantFolding:
+    def test_fully_constant_add_folds(self):
+        cfg = single_block([
+            Instruction("LDI", dest=v(0), imm=2),
+            Instruction("LDI", dest=v(1), imm=3),
+            Instruction("ADD", dest=v(2), srcs=(v(0), v(1))),
+        ])
+        fold_constants(cfg)
+        folded = cfg.block("entry").instrs[2]
+        assert folded.op == "LDI"
+        assert folded.imm == 5
+
+    def test_compare_folds_to_flag(self):
+        cfg = single_block([
+            Instruction("LDI", dest=v(0), imm=2),
+            Instruction("CMPLT", dest=v(1), srcs=(v(0),), imm=9),
+        ])
+        fold_constants(cfg)
+        assert cfg.block("entry").instrs[1].imm == 1
+
+    def test_register_to_immediate_rewriting(self):
+        cfg = single_block([
+            Instruction("LDI", dest=v(0), imm=7),
+            Instruction("ADD", dest=v(2), srcs=(v(1), v(0))),
+        ])
+        fold_constants(cfg)
+        rewritten = cfg.block("entry").instrs[1]
+        assert rewritten.srcs == (v(1),)
+        assert rewritten.imm == 7
+
+    def test_constants_do_not_cross_redefinition(self):
+        cfg = single_block([
+            Instruction("LDI", dest=v(0), imm=7),
+            Instruction("ADD", dest=v(0), srcs=(v(1),), imm=1),
+            Instruction("ADD", dest=v(2), srcs=(v(1), v(0))),
+        ])
+        fold_constants(cfg)
+        final = cfg.block("entry").instrs[2]
+        assert final.srcs == (v(1), v(0))       # untouched
+
+    def test_constants_do_not_cross_blocks(self):
+        cfg = Cfg(entry="a")
+        cfg.add_block(BasicBlock("a", [
+            Instruction("LDI", dest=v(0), imm=7)], fallthrough="b"))
+        cfg.add_block(BasicBlock("b", [
+            Instruction("ADD", dest=v(1), srcs=(v(2), v(0))),
+            Instruction("HALT")]))
+        fold_constants(cfg)
+        assert cfg.block("b").instrs[0].srcs == (v(2), v(0))
+
+    def test_zero_register_treated_as_constant(self):
+        from repro.isa import ZERO
+        cfg = single_block([
+            Instruction("LDI", dest=v(0), imm=3),
+            Instruction("SUB", dest=v(1), srcs=(ZERO, v(0))),
+        ])
+        fold_constants(cfg)
+        assert cfg.block("entry").instrs[1].op == "LDI"
+        assert cfg.block("entry").instrs[1].imm == -3
+
+    def test_fp_ops_untouched(self):
+        fadd = Instruction("FADD", dest=v(0, "f"), srcs=(v(1, "f"),
+                                                         v(2, "f")))
+        cfg = single_block([fadd])
+        fold_constants(cfg)
+        assert cfg.block("entry").instrs[0].op == "FADD"
+
+
+class TestCopyPropagation:
+    def test_copy_forwarded_to_use(self):
+        cfg = single_block([
+            Instruction("MOV", dest=v(1), srcs=(v(0),)),
+            Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+        ])
+        propagate_copies(cfg)
+        assert cfg.block("entry").instrs[1].srcs == (v(0),)
+
+    def test_copy_killed_by_source_redefinition(self):
+        cfg = single_block([
+            Instruction("MOV", dest=v(1), srcs=(v(0),)),
+            Instruction("LDI", dest=v(0), imm=9),
+            Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+        ])
+        propagate_copies(cfg)
+        assert cfg.block("entry").instrs[2].srcs == (v(1),)
+
+    def test_copy_killed_by_dest_redefinition(self):
+        cfg = single_block([
+            Instruction("MOV", dest=v(1), srcs=(v(0),)),
+            Instruction("LDI", dest=v(1), imm=9),
+            Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+        ])
+        propagate_copies(cfg)
+        assert cfg.block("entry").instrs[2].srcs == (v(1),)
+
+    def test_copy_chains_collapse(self):
+        cfg = single_block([
+            Instruction("MOV", dest=v(1), srcs=(v(0),)),
+            Instruction("MOV", dest=v(2), srcs=(v(1),)),
+            Instruction("ADD", dest=v(3), srcs=(v(2),), imm=1),
+        ])
+        propagate_copies(cfg)
+        assert cfg.block("entry").instrs[2].srcs == (v(0),)
+
+    def test_fp_moves_propagate(self):
+        cfg = single_block([
+            Instruction("FMOV", dest=v(1, "f"), srcs=(v(0, "f"),)),
+            Instruction("FADD", dest=v(2, "f"), srcs=(v(1, "f"), v(1, "f"))),
+        ])
+        propagate_copies(cfg)
+        assert cfg.block("entry").instrs[1].srcs == (v(0, "f"), v(0, "f"))
+
+
+class TestDeadCodeElimination:
+    def test_unused_result_removed(self):
+        cfg = single_block([
+            Instruction("LDI", dest=v(0), imm=1),
+            Instruction("LDI", dest=v(1), imm=2),   # dead
+            Instruction("ADD", dest=v(2), srcs=(v(0),), imm=1),
+            Instruction("ST", srcs=(v(2), v(0)), offset=0),
+        ])
+        removed = eliminate_dead_code(cfg)
+        assert removed == 1
+        ops = [i.op for i in cfg.block("entry").instrs]
+        assert ops == ["LDI", "ADD", "ST", "HALT"]
+
+    def test_dead_chain_removed_transitively(self):
+        cfg = single_block([
+            Instruction("LDI", dest=v(0), imm=1),
+            Instruction("ADD", dest=v(1), srcs=(v(0),), imm=1),
+            Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+        ])
+        removed = eliminate_dead_code(cfg)
+        assert removed == 3
+        assert [i.op for i in cfg.block("entry").instrs] == ["HALT"]
+
+    def test_stores_never_removed(self):
+        cfg = single_block([
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("ST", srcs=(v(0), v(0)), offset=0),
+        ])
+        assert eliminate_dead_code(cfg) == 0
+
+    def test_dead_load_removed(self):
+        cfg = single_block([
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("LD", dest=v(1), srcs=(v(0),), offset=0),
+        ])
+        eliminate_dead_code(cfg)
+        assert [i.op for i in cfg.block("entry").instrs] == ["HALT"]
+
+    def test_values_live_across_blocks_kept(self):
+        cfg = Cfg(entry="a")
+        cfg.add_block(BasicBlock("a", [
+            Instruction("LDI", dest=v(0), imm=7)], fallthrough="b"))
+        cfg.add_block(BasicBlock("b", [
+            Instruction("ST", srcs=(v(0), v(0)), offset=0),
+            Instruction("HALT")]))
+        assert eliminate_dead_code(cfg) == 0
+
+    def test_branch_condition_kept(self):
+        cfg = Cfg(entry="a")
+        cfg.add_block(BasicBlock("a", [
+            Instruction("LDI", dest=v(0), imm=1),
+            Instruction("BEQ", srcs=(v(0),), label="b")], fallthrough="b"))
+        cfg.add_block(BasicBlock("b", [Instruction("HALT")]))
+        assert eliminate_dead_code(cfg) == 0
+
+
+def test_passes_compose_to_clean_inlined_copies(run_source):
+    """End to end: inline copies disappear from the final program."""
+    source = """
+array OUT[4] : float;
+func dbl(x: float) : float { return x * 2.0; }
+func main() {
+    OUT[0] = dbl(3.0);
+}
+"""
+    from repro.harness.compile import Options, compile_source
+    result = compile_source(source, Options(scheduler="none"))
+    movs = [i for i in result.program.instructions if i.op == "FMOV"]
+    assert not movs

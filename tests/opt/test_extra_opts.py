@@ -1,0 +1,210 @@
+"""Optional passes: loop-invariant code motion and local CSE."""
+
+from repro.codegen.lower import lower
+from repro.frontend import frontend
+from repro.harness.compile import Options, compile_source
+from repro.ir import BasicBlock, Cfg
+from repro.isa import Instruction, Reg
+from repro.machine import Simulator
+from repro.opt.cse import eliminate_common_subexpressions
+from repro.opt.licm import hoist_loop_invariants
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+class TestLicm:
+    def _loop_cfg(self, body_extra=()):
+        """preheader -> body (self loop) -> exit."""
+        cfg = Cfg(entry="pre")
+        cfg.add_block(BasicBlock("pre", [
+            Instruction("LDI", dest=v(0), imm=0),
+            Instruction("LDI", dest=v(9), imm=10),
+            Instruction("BEQ", srcs=(v(9),), label="exit"),
+        ], fallthrough="body"))
+        cfg.add_block(BasicBlock("body", [
+            Instruction("LDI", dest=v(1), imm=42),            # invariant
+            Instruction("ADD", dest=v(2), srcs=(v(1),), imm=8),  # invariant
+            Instruction("ADD", dest=v(0), srcs=(v(0), v(2))),  # variant
+            Instruction("CMPLT", dest=v(3), srcs=(v(0), v(9))),
+            Instruction("BNE", srcs=(v(3),), label="body"),
+        ], fallthrough="exit"))
+        cfg.add_block(BasicBlock("exit", list(body_extra)
+                                 + [Instruction("HALT")]))
+        return cfg
+
+    def test_invariants_move_to_preheader(self):
+        cfg = self._loop_cfg()
+        hoisted = hoist_loop_invariants(cfg)
+        assert hoisted == 2
+        body_ops = [i.op for i in cfg.blocks["body"].instrs]
+        assert "LDI" not in body_ops
+        pre_ops = [i.op for i in cfg.blocks["pre"].instrs]
+        assert pre_ops.count("LDI") == 3
+        # Hoisted code sits before the guard branch.
+        assert cfg.blocks["pre"].instrs[-1].op == "BEQ"
+        cfg.verify()
+
+    def test_variant_instruction_stays(self):
+        cfg = self._loop_cfg()
+        hoist_loop_invariants(cfg)
+        body_ops = [i.op for i in cfg.blocks["body"].instrs]
+        assert "ADD" in body_ops            # the accumulation
+        assert "CMPLT" in body_ops
+
+    def test_multiply_defined_register_not_hoisted(self):
+        cfg = self._loop_cfg()
+        cfg.blocks["body"].instrs.insert(
+            2, Instruction("LDI", dest=v(1), imm=7))   # second def of v1
+        hoisted = hoist_loop_invariants(cfg)
+        # v1 has two defs now; only hoists that remain safe happen.
+        body_ops = [i.format() for i in cfg.blocks["body"].instrs]
+        assert any("42" in text for text in body_ops) or hoisted == 0
+
+    def test_trapping_ops_not_hoisted(self):
+        cfg = self._loop_cfg()
+        cfg.blocks["body"].instrs.insert(2, Instruction(
+            "DIVQ", dest=v(5), srcs=(v(9), v(9))))
+        hoist_loop_invariants(cfg)
+        assert any(i.op == "DIVQ" for i in cfg.blocks["body"].instrs)
+
+    def test_end_to_end_semantics(self, stencil_source):
+        base = compile_source(stencil_source, Options())
+        extra = compile_source(stencil_source, Options(extra_opts=True))
+        sim_a, sim_b = Simulator(base.program), Simulator(extra.program)
+        sim_a.run()
+        sim_b.run()
+        assert sim_a.get_symbol("V") == sim_b.get_symbol("V")
+
+    def test_reduces_dynamic_instructions(self, stencil_source):
+        base = compile_source(stencil_source, Options())
+        extra = compile_source(stencil_source, Options(extra_opts=True))
+        m_base = Simulator(base.program).run()
+        m_extra = Simulator(extra.program).run()
+        assert m_extra.instructions < m_base.instructions
+
+
+class TestCse:
+    def _block(self, instrs):
+        cfg = Cfg(entry="entry")
+        cfg.add_block(BasicBlock("entry",
+                                 list(instrs) + [Instruction("HALT")]))
+        return cfg
+
+    def test_duplicate_expression_becomes_copy(self):
+        cfg = self._block([
+            Instruction("LDI", dest=v(0), imm=3),
+            Instruction("ADD", dest=v(1), srcs=(v(0),), imm=5),
+            Instruction("ADD", dest=v(2), srcs=(v(0),), imm=5),
+        ])
+        assert eliminate_common_subexpressions(cfg) == 1
+        assert cfg.blocks["entry"].instrs[2].op == "MOV"
+
+    def test_commutative_normalization(self):
+        cfg = self._block([
+            Instruction("LDI", dest=v(0), imm=3),
+            Instruction("LDI", dest=v(1), imm=4),
+            Instruction("ADD", dest=v(2), srcs=(v(0), v(1))),
+            Instruction("ADD", dest=v(3), srcs=(v(1), v(0))),
+        ])
+        assert eliminate_common_subexpressions(cfg) == 1
+
+    def test_non_commutative_order_respected(self):
+        cfg = self._block([
+            Instruction("LDI", dest=v(0), imm=3),
+            Instruction("LDI", dest=v(1), imm=4),
+            Instruction("SUB", dest=v(2), srcs=(v(0), v(1))),
+            Instruction("SUB", dest=v(3), srcs=(v(1), v(0))),
+        ])
+        assert eliminate_common_subexpressions(cfg) == 0
+
+    def test_redefined_source_blocks_reuse(self):
+        cfg = self._block([
+            Instruction("LDI", dest=v(0), imm=3),
+            Instruction("ADD", dest=v(1), srcs=(v(0),), imm=5),
+            Instruction("LDI", dest=v(0), imm=9),
+            Instruction("ADD", dest=v(2), srcs=(v(0),), imm=5),
+        ])
+        assert eliminate_common_subexpressions(cfg) == 0
+
+    def test_redefined_holder_blocks_reuse(self):
+        cfg = self._block([
+            Instruction("LDI", dest=v(0), imm=3),
+            Instruction("ADD", dest=v(1), srcs=(v(0),), imm=5),
+            Instruction("LDI", dest=v(1), imm=0),    # clobber holder
+            Instruction("ADD", dest=v(2), srcs=(v(0),), imm=5),
+        ])
+        assert eliminate_common_subexpressions(cfg) == 0
+
+    def test_duplicate_loads_merge_without_stores(self):
+        from repro.isa import MemRef
+        mem = MemRef("data", "A", affine=({}, 0))
+        cfg = self._block([
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("LD", dest=v(1), srcs=(v(0),), offset=0, mem=mem),
+            Instruction("LD", dest=v(2), srcs=(v(0),), offset=0, mem=mem),
+        ])
+        assert eliminate_common_subexpressions(cfg) == 1
+
+    def test_store_invalidates_loads(self):
+        from repro.isa import MemRef
+        mem = MemRef("data", "A", affine=({}, 0))
+        cfg = self._block([
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("LD", dest=v(1), srcs=(v(0),), offset=0, mem=mem),
+            Instruction("ST", srcs=(v(1), v(0)), offset=0, mem=mem),
+            Instruction("LD", dest=v(2), srcs=(v(0),), offset=0, mem=mem),
+        ])
+        assert eliminate_common_subexpressions(cfg) == 0
+
+    def test_different_offsets_not_merged(self):
+        cfg = self._block([
+            Instruction("LDI", dest=v(0), imm=64),
+            Instruction("LD", dest=v(1), srcs=(v(0),), offset=0),
+            Instruction("LD", dest=v(2), srcs=(v(0),), offset=8),
+        ])
+        assert eliminate_common_subexpressions(cfg) == 0
+
+    def test_cmov_never_merged(self):
+        cfg = self._block([
+            Instruction("LDI", dest=v(0), imm=1),
+            Instruction("LDI", dest=v(1), imm=2),
+            Instruction("CMOVNE", dest=v(2), srcs=(v(0), v(1))),
+            Instruction("CMOVNE", dest=v(3), srcs=(v(0), v(1))),
+        ])
+        assert eliminate_common_subexpressions(cfg) == 0
+
+
+def test_combined_passes_preserve_workload_semantics():
+    source = """
+array A[32][32] : float;
+array OUT[32] : float;
+var n : int = 32;
+var acc : float = 0.0;
+func main() {
+    var i : int; var j : int;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            A[i][j] = float(i * 32 + j) * 0.125;
+        }
+    }
+    for (i = 1; i < 31; i = i + 1) {
+        for (j = 1; j < 31; j = j + 1) {
+            OUT[i] = OUT[i] + A[i][j] * 0.5 + A[i][j] * 0.5
+                   + A[i - 1][j] * 0.25;
+            acc = acc + OUT[i];
+        }
+    }
+}
+"""
+    results = {}
+    for extra in (False, True):
+        result = compile_source(source, Options(scheduler="balanced",
+                                                unroll=4,
+                                                extra_opts=extra))
+        sim = Simulator(result.program)
+        sim.run()
+        results[extra] = (sim.get_symbol("OUT"), sim.get_symbol("acc"))
+    assert results[False][0] == results[True][0]
+    assert abs(results[False][1] - results[True][1]) < 1e-6

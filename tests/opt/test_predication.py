@@ -1,0 +1,135 @@
+"""Predication (CMOV if-conversion)."""
+
+from repro.frontend import ast, frontend
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+from repro.opt.predication import predicable, predicate_program
+
+
+def main_statements(source: str):
+    program = frontend(source)
+    predicate_program(program)
+    return program.function("main").body.statements, program
+
+
+def first_if(source: str) -> ast.If:
+    program = frontend(source)
+    for stmt in program.function("main").body.statements:
+        if isinstance(stmt, ast.If):
+            return stmt
+    raise AssertionError("no if statement found")
+
+
+class TestPattern:
+    def test_simple_scalar_guarded_assign_is_predicable(self):
+        stmt = first_if("""
+func main() { var x : int; x = 1;
+    if (x < 3) { x = 5; } }""")
+        assert predicable(stmt)
+
+    def test_array_target_is_predicable(self):
+        stmt = first_if("""
+array A[4] : float;
+func main() { var i : int; i = 0;
+    if (A[i] < 0.0) { A[i] = 0.0 - A[i]; } }""")
+        assert predicable(stmt)
+
+    def test_else_branch_blocks_predication(self):
+        stmt = first_if("""
+func main() { var x : int; x = 1;
+    if (x < 3) { x = 5; } else { x = 6; } }""")
+        assert not predicable(stmt)
+
+    def test_multi_statement_body_blocks_predication(self):
+        stmt = first_if("""
+func main() { var x : int; var y : int; x = 1;
+    if (x < 3) { x = 5; y = 6; } }""")
+        assert not predicable(stmt)
+
+    def test_division_in_value_blocks_predication(self):
+        stmt = first_if("""
+func main() { var x : float; var d : float; x = 1.0; d = 2.0;
+    if (d > 0.5) { x = x / d; } }""")
+        assert not predicable(stmt)
+
+    def test_call_in_value_blocks_predication(self):
+        stmt = first_if("""
+func f(a: float) : float { return a; }
+func main() { var x : float; x = 1.0;
+    if (x < 3.0) { x = f(x); } }""")
+        assert not predicable(stmt)
+
+
+class TestConversion:
+    def test_if_replaced_by_select_assignment(self):
+        statements, _ = main_statements("""
+func main() { var x : int; x = 1;
+    if (x < 3) { x = 5; } }""")
+        converted = statements[-1]
+        assert isinstance(converted, ast.Assign)
+        assert isinstance(converted.value, ast.Select)
+
+    def test_conversion_count_reported(self):
+        program = frontend("""
+func main() { var x : int; var y : int; x = 1; y = 2;
+    if (x < 3) { x = 5; }
+    if (y < 3) { y = 7; } }""")
+        assert predicate_program(program) == 2
+
+    def test_lowered_code_contains_cmov_and_no_branch(self):
+        source = """
+array A[4] : float;
+func main() {
+    var i : int;
+    for (i = 0; i < 4; i = i + 1) {
+        if (A[i] < 1.0) { A[i] = A[i] + 1.0; }
+    }
+}
+"""
+        result = compile_source(source, Options(scheduler="none"))
+        ops = [ins.op for ins in result.program.instructions]
+        assert "FCMOVNE" in ops
+        # Only the loop's own control flow remains: guard + latch.
+        conditional = [op for op in ops if op in ("BEQ", "BNE")]
+        assert len(conditional) == 2
+
+
+class TestSemantics:
+    def _run(self, source, predicate):
+        result = compile_source(
+            source, Options(scheduler="balanced", predicate=predicate))
+        sim = Simulator(result.program)
+        sim.run()
+        return sim
+
+    def test_taken_and_untaken_paths_match_branching_code(self):
+        source = """
+array A[8] : float;
+array OUT[8] : float;
+func main() {
+    var i : int;
+    for (i = 0; i < 8; i = i + 1) { A[i] = float(i) - 3.5; }
+    for (i = 0; i < 8; i = i + 1) {
+        if (A[i] < 0.0) { A[i] = 0.0 - A[i]; }
+        OUT[i] = A[i];
+    }
+}
+"""
+        with_cmov = self._run(source, predicate=True)
+        with_branches = self._run(source, predicate=False)
+        assert with_cmov.get_symbol("OUT") == with_branches.get_symbol("OUT")
+
+    def test_int_select(self):
+        source = """
+array OUT[8] : int;
+func main() {
+    var i : int; var m : int;
+    for (i = 0; i < 8; i = i + 1) {
+        m = i;
+        if (i % 2 == 0) { m = 0 - i; }
+        OUT[i] = m;
+    }
+}
+"""
+        with_cmov = self._run(source, predicate=True)
+        assert with_cmov.get_symbol("OUT") == [0, 1, -2, 3, -4, 5, -6, 7]

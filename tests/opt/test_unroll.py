@@ -1,0 +1,274 @@
+"""Loop unrolling: canonical forms, caps, postconditioning, semantics."""
+
+import pytest
+
+from repro.frontend import ast, frontend
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+from repro.opt.unroll import (
+    canonicalize,
+    estimate_instructions,
+    is_innermost,
+    unroll_program,
+)
+
+
+def first_loop(source: str) -> ast.For:
+    program = frontend(source)
+    for stmt in program.function("main").body.statements:
+        if isinstance(stmt, ast.For):
+            return stmt
+    raise AssertionError("no for loop")
+
+
+SIMPLE = """
+array A[64] : float;
+var n : int = 64;
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) { A[i] = float(i); }
+}
+"""
+
+
+class TestCanonicalize:
+    def test_simple_loop_is_canonical(self):
+        canon = canonicalize(first_loop(SIMPLE))
+        assert canon is not None
+        assert canon.ivar == "i"
+        assert canon.cmp == "<"
+        assert canon.step == 1
+
+    def test_le_comparison_accepted(self):
+        loop = first_loop("""
+array A[64] : float;
+func main() { var i : int;
+    for (i = 0; i <= 62; i = i + 2) { A[i] = 1.0; } }""")
+        canon = canonicalize(loop)
+        assert canon.cmp == "<=" and canon.step == 2
+
+    def test_non_unit_negative_step_rejected(self):
+        loop = first_loop("""
+array A[64] : float;
+func main() { var i : int;
+    for (i = 63; i < 64; i = i + -1) { A[i] = 1.0; } }""")
+        assert canonicalize(loop) is None
+
+    def test_induction_variable_assigned_in_body_rejected(self):
+        loop = first_loop("""
+array A[64] : float;
+func main() { var i : int;
+    for (i = 0; i < 10; i = i + 1) { i = i + 1; A[i] = 1.0; } }""")
+        assert canonicalize(loop) is None
+
+    def test_bound_containing_call_rejected(self):
+        loop = first_loop("""
+array A[64] : float;
+func f() : int { return 8; }
+func main() { var i : int;
+    for (i = 0; i < f(); i = i + 1) { A[i] = 1.0; } }""")
+        assert canonicalize(loop) is None
+
+    def test_bound_depending_on_ivar_rejected(self):
+        loop = first_loop("""
+array A[64] : float;
+func main() { var i : int;
+    for (i = 1; i < i + 1; i = i + 1) { A[i] = 1.0; } }""")
+        assert canonicalize(loop) is None
+
+    def test_multiplicative_step_rejected(self):
+        loop = first_loop("""
+array A[64] : float;
+func main() { var i : int;
+    for (i = 1; i < 64; i = i * 2) { A[i] = 1.0; } }""")
+        assert canonicalize(loop) is None
+
+
+class TestEligibility:
+    def test_innermost_only(self):
+        program = frontend("""
+array A[8][8] : float;
+func main() {
+    var i : int; var j : int;
+    for (i = 0; i < 8; i = i + 1) {
+        for (j = 0; j < 8; j = j + 1) { A[i][j] = 1.0; }
+    }
+}
+""")
+        stats = unroll_program(program, 4)
+        assert stats.unrolled == 1           # only the inner loop
+
+    def test_two_internal_branches_block_unrolling(self):
+        program = frontend("""
+array A[64] : float;
+func main() {
+    var i : int;
+    for (i = 1; i < 63; i = i + 1) {
+        if (A[i] < 0.0) { A[i] = 0.0 - A[i]; } else { A[i] = A[i] * 2.0; }
+        if (A[i] > 9.0) { A[i] = 9.0; } else { A[i] = A[i] + 0.1; }
+    }
+}
+""")
+        stats = unroll_program(program, 4)
+        assert stats.unrolled == 0
+        assert stats.skipped_branches == 1
+
+    def test_predicable_conditional_does_not_count(self):
+        program = frontend("""
+array A[64] : float;
+func main() {
+    var i : int;
+    for (i = 0; i < 64; i = i + 1) {
+        if (A[i] < 0.0) { A[i] = 0.0 - A[i]; }
+    }
+}
+""")
+        stats = unroll_program(program, 4)
+        assert stats.unrolled == 1
+
+    def test_size_cap_reduces_factor(self):
+        # A body estimated around 20+ instructions: factor 4 exceeds
+        # the 64-instruction cap, so a reduced factor is used.
+        program = frontend("""
+array A[64] : float;
+array B[64] : float;
+array C[64] : float;
+func main() {
+    var i : int;
+    for (i = 2; i < 62; i = i + 1) {
+        A[i] = B[i - 1] * 0.1 + B[i] * 0.2 + B[i + 1] * 0.3
+             + C[i - 2] * 0.4 + C[i] * 0.5 + C[i + 2] * 0.6
+             + A[i - 1] * 0.7;
+    }
+}
+""")
+        stats4 = unroll_program(program, 4)
+        assert stats4.unrolled == 1
+        assert stats4.factors[0] < 4
+
+    def test_huge_body_disables_unrolling(self):
+        lines = "\n".join(
+            f"A[i] = A[i] + B[i - {k}] * {k}.0 + C[i + {k}] * 0.{k};"
+            for k in range(1, 11))
+        program = frontend(f"""
+array A[128] : float;
+array B[128] : float;
+array C[128] : float;
+func main() {{
+    var i : int;
+    for (i = 16; i < 112; i = i + 1) {{
+        {lines}
+    }}
+}}
+""")
+        stats = unroll_program(program, 4)
+        assert stats.unrolled == 0
+        assert stats.skipped_size == 1
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("trip_count", [0, 1, 3, 4, 5, 7, 8, 16, 17])
+    def test_all_trip_counts_match_reference(self, trip_count):
+        source = f"""
+array A[32] : float;
+var n : int = {trip_count};
+var total : float = 0.0;
+func main() {{
+    var i : int;
+    for (i = 0; i < 32; i = i + 1) {{ A[i] = 100.0; }}
+    for (i = 0; i < n; i = i + 1) {{
+        A[i] = float(i) * 2.0 + 1.0;
+        total = total + A[i];
+    }}
+}}
+"""
+        expected_a = [i * 2.0 + 1.0 if i < trip_count else 100.0
+                      for i in range(32)]
+        expected_total = sum(i * 2.0 + 1.0 for i in range(trip_count))
+        for factor in (0, 4, 8):
+            result = compile_source(
+                source, Options(scheduler="balanced", unroll=factor))
+            sim = Simulator(result.program)
+            sim.run()
+            assert sim.get_symbol("A") == expected_a, factor
+            assert abs(sim.get_symbol("total") - expected_total) < 1e-9
+
+    def test_unrolling_reduces_dynamic_branches(self):
+        result0 = compile_source(SIMPLE, Options(scheduler="balanced"))
+        result4 = compile_source(SIMPLE, Options(scheduler="balanced",
+                                                 unroll=4))
+        sim0, sim4 = Simulator(result0.program), Simulator(result4.program)
+        m0, m4 = sim0.run(), sim4.run()
+        assert m4.branches < m0.branches
+        assert m4.instructions < m0.instructions
+        assert sim0.get_symbol("A") == sim4.get_symbol("A")
+
+    def test_induction_variable_correct_after_loop(self):
+        source = """
+array OUT[1] : int;
+var n : int = 10;
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) { OUT[0] = i; }
+    OUT[0] = i;
+}
+"""
+        for factor in (0, 4, 8):
+            result = compile_source(source, Options(unroll=factor))
+            sim = Simulator(result.program)
+            sim.run()
+            assert sim.get_symbol("OUT") == [10], factor
+
+    def test_la_processed_loops_skipped(self):
+        program = frontend("""
+array A[16][16] : float;
+array C[16][16] : float;
+var n : int = 16;
+func main() {
+    var i: int; var j: int;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) { C[i][j] = A[i][j] * 2.0; }
+    }
+}
+""")
+        from repro.analysis import analyze_locality
+        la_stats = analyze_locality(program)
+        assert la_stats.loops_unrolled == 1
+        stats = unroll_program(program, 8)
+        # The locality-processed inner loop must not be re-unrolled.
+        assert stats.unrolled == 0
+
+
+def test_estimate_instructions_scales_with_body():
+    small = first_loop(SIMPLE)
+    program = frontend(SIMPLE)
+    big = frontend("""
+array A[64] : float;
+array B[64] : float;
+func main() {
+    var i : int;
+    for (i = 1; i < 63; i = i + 1) {
+        A[i] = A[i - 1] * 0.5 + B[i] * 2.0 + B[i + 1];
+        B[i] = A[i] + B[i - 1];
+    }
+}
+""")
+    big_loop = big.function("main").body.statements[-1]
+    assert estimate_instructions(big_loop.body, big) > \
+        estimate_instructions(small.body, program)
+
+
+def test_is_innermost():
+    program = frontend("""
+array A[8][8] : float;
+func main() {
+    var i : int; var j : int;
+    for (i = 0; i < 8; i = i + 1) {
+        for (j = 0; j < 8; j = j + 1) { A[i][j] = 1.0; }
+    }
+}
+""")
+    outer = program.function("main").body.statements[-1]
+    inner = outer.body.statements[0]
+    assert not is_innermost(outer)
+    assert is_innermost(inner)

@@ -1,0 +1,91 @@
+"""Structural checks on the unroller's output (paper Figure 4 shape)."""
+
+from repro.frontend import ast, frontend
+from repro.opt.unroll import CanonicalLoop, canonicalize, unroll_loop
+
+
+def get_loop(source: str) -> ast.For:
+    program = frontend(source)
+    for stmt in program.function("main").body.statements:
+        if isinstance(stmt, ast.For):
+            return stmt
+    raise AssertionError
+
+
+SRC = """
+array A[64] : float;
+var n : int = 64;
+func main() {
+    var i : int;
+    for (i = 0; i < n; i = i + 1) { A[i] = float(i); }
+}
+"""
+
+
+def unrolled(factor: int) -> ast.Block:
+    loop = get_loop(SRC)
+    return unroll_loop(loop, canonicalize(loop), factor)
+
+
+def test_main_loop_has_factor_copies():
+    block = unrolled(4)
+    main_loop = block.statements[0]
+    assert isinstance(main_loop, ast.For)
+    assert len(main_loop.body.statements) == 4
+
+
+def test_main_loop_condition_guards_last_copy():
+    block = unrolled(4)
+    cond = block.statements[0].cond
+    # i + 3 < n
+    assert isinstance(cond, ast.BinOp) and cond.op == "<"
+    assert cond.left.op == "+"
+    assert cond.left.right.value == 3
+
+
+def test_step_is_scaled():
+    block = unrolled(4)
+    step = block.statements[0].step
+    assert step.value.right.value == 4
+
+
+def test_epilogue_is_nested_ifs_of_depth_factor_minus_one():
+    block = unrolled(4)
+    epilogue = block.statements[1]
+    depth = 0
+    node = epilogue
+    while isinstance(node, ast.If):
+        depth += 1
+        inner = [s for s in node.then_body.statements
+                 if isinstance(s, ast.If)]
+        node = inner[0] if inner else None
+    assert depth == 3                       # paper Figure 4: factor - 1
+
+
+def test_copies_substitute_increasing_offsets():
+    block = unrolled(4)
+    copies = block.statements[0].body.statements
+    offsets = []
+    for copy in copies:
+        assign = copy.statements[0]
+        index = assign.target.indices[0]
+        if isinstance(index, ast.Name):
+            offsets.append(0)
+        else:
+            offsets.append(index.right.value)
+    assert offsets == [0, 1, 2, 3]
+
+
+def test_factor_two_epilogue_single_if():
+    block = unrolled(2)
+    epilogue = block.statements[1]
+    assert isinstance(epilogue, ast.If)
+    nested = [s for s in epilogue.then_body.statements
+              if isinstance(s, ast.If)]
+    assert not nested
+
+
+def test_marker_prevents_reunrolling():
+    block = unrolled(4)
+    main_loop = block.statements[0]
+    assert getattr(main_loop, "_unrolled", 0) == 4

@@ -1,0 +1,76 @@
+"""Property tests: affine forms agree with direct evaluation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import AffineForm, affine_of
+from repro.frontend import parse
+
+NAMES = ("i", "j", "k")
+
+coeff_lists = st.lists(
+    st.tuples(st.sampled_from(NAMES), st.integers(-20, 20)),
+    max_size=5)
+envs = st.fixed_dictionaries({n: st.integers(-100, 100) for n in NAMES})
+
+
+def evaluate(form: AffineForm, env: dict) -> int:
+    return sum(c * env[n] for n, c in form.coeffs) + form.const
+
+
+def build(pairs, const) -> AffineForm:
+    form = AffineForm.constant(const)
+    for name, coeff in pairs:
+        form = form.add(AffineForm.variable(name).scale(coeff))
+    return form
+
+
+@given(coeff_lists, st.integers(-50, 50), coeff_lists,
+       st.integers(-50, 50), envs)
+@settings(max_examples=100, deadline=None)
+def test_addition_is_pointwise(pairs_a, ca, pairs_b, cb, env):
+    a, b = build(pairs_a, ca), build(pairs_b, cb)
+    assert evaluate(a.add(b), env) == evaluate(a, env) + evaluate(b, env)
+    assert evaluate(a.add(b, -1), env) == evaluate(a, env) - evaluate(b, env)
+
+
+@given(coeff_lists, st.integers(-50, 50), st.integers(-10, 10), envs)
+@settings(max_examples=100, deadline=None)
+def test_scaling_is_pointwise(pairs, const, factor, env):
+    form = build(pairs, const)
+    assert evaluate(form.scale(factor), env) == factor * evaluate(form, env)
+
+
+@given(coeff_lists, st.integers(-50, 50))
+@settings(max_examples=100, deadline=None)
+def test_zero_coefficients_are_normalized_away(pairs, const):
+    form = build(pairs, const)
+    assert all(c != 0 for _, c in form.coeffs)
+
+
+@st.composite
+def affine_source_exprs(draw, depth=0):
+    """Textual expressions that are affine by construction."""
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return str(draw(st.integers(-9, 9)))
+        return draw(st.sampled_from(NAMES))
+    kind = draw(st.integers(0, 2))
+    left = draw(affine_source_exprs(depth=depth + 1))
+    right = draw(affine_source_exprs(depth=depth + 1))
+    if kind == 0:
+        return f"({left} + {right})"
+    if kind == 1:
+        return f"({left} - {right})"
+    scale = draw(st.integers(-6, 6))
+    return f"({scale} * {left})"
+
+
+@given(affine_source_exprs(), envs)
+@settings(max_examples=100, deadline=None)
+def test_affine_of_matches_python_eval(text, env):
+    program = parse(f"func main() {{ x = {text}; }}")
+    expr = program.function("main").body.statements[0].value
+    form = affine_of(expr)
+    assert form is not None
+    assert evaluate(form, env) == eval(text, {}, dict(env))  # noqa: S307

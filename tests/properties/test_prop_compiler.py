@@ -1,0 +1,127 @@
+"""Property tests: generated programs compute what Python computes.
+
+A small expression generator builds straight-line programs over int
+scalars (with safe operators only), evaluates them in Python, then
+checks the compiled + simulated result under several pipeline
+configurations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+
+VARS = ["a", "b", "c"]
+
+
+def _binop(op, left, right):
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            return str(draw(st.integers(-50, 50)))
+        return draw(st.sampled_from(VARS))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(int_exprs(depth=depth + 1))
+    right = draw(int_exprs(depth=depth + 1))
+    return _binop(op, left, right)
+
+
+@st.composite
+def straightline_programs(draw):
+    """(source, expected OUT values)."""
+    env = {"a": draw(st.integers(-20, 20)),
+           "b": draw(st.integers(-20, 20)),
+           "c": draw(st.integers(-20, 20))}
+    lines = [f"    {name} = {value};" for name, value in env.items()]
+    n_stmts = draw(st.integers(1, 5))
+    expected = []
+    for index in range(n_stmts):
+        target = draw(st.sampled_from(VARS))
+        expr = draw(int_exprs())
+        env[target] = eval(expr, {}, dict(env))  # noqa: S307 - test oracle
+        lines.append(f"    {target} = {expr};")
+    for slot, name in enumerate(VARS):
+        lines.append(f"    OUT[{slot}] = {name};")
+        expected.append(env[name])
+    body = "\n".join(lines)
+    source = f"""
+array OUT[3] : int;
+func main() {{
+    var a : int; var b : int; var c : int;
+{body}
+}}
+"""
+    return source, expected
+
+
+CONFIGS = [
+    Options(scheduler="none"),
+    Options(scheduler="traditional"),
+    Options(scheduler="balanced"),
+    Options(scheduler="balanced", classic_opts=False),
+]
+
+
+@given(straightline_programs())
+@settings(max_examples=40, deadline=None)
+def test_generated_programs_match_python(case):
+    source, expected = case
+    for options in CONFIGS:
+        result = compile_source(source, options)
+        sim = Simulator(result.program)
+        sim.run(max_instructions=500_000)
+        assert sim.get_symbol("OUT") == expected, options.label()
+
+
+@st.composite
+def loop_programs(draw):
+    """Counted loops with a guarded accumulation; oracle in Python."""
+    lo = draw(st.integers(0, 4))
+    hi = draw(st.integers(0, 24))
+    step = draw(st.integers(1, 3))
+    scale = draw(st.integers(-4, 4))
+    threshold = draw(st.integers(-10, 40))
+    source = f"""
+array OUT[2] : int;
+func main() {{
+    var i : int; var acc : int; var hits : int;
+    acc = 0;
+    hits = 0;
+    for (i = {lo}; i < {hi}; i = i + {step}) {{
+        acc = acc + i * {scale};
+        if (acc < {threshold}) {{ hits = hits + 1; }}
+    }}
+    OUT[0] = acc;
+    OUT[1] = hits;
+}}
+"""
+    acc = 0
+    hits = 0
+    i = lo
+    while i < hi:
+        acc += i * scale
+        if acc < threshold:
+            hits += 1
+        i += step
+    return source, [acc, hits]
+
+
+@given(loop_programs())
+@settings(max_examples=40, deadline=None)
+def test_generated_loops_match_python(case):
+    source, expected = case
+    for options in (Options(scheduler="balanced", unroll=4),
+                    Options(scheduler="traditional", unroll=8),
+                    Options(scheduler="balanced", trace=True),
+                    Options(scheduler="balanced", unroll=4,
+                            extra_opts=True)):
+        result = compile_source(source, options)
+        sim = Simulator(result.program)
+        sim.run(max_instructions=500_000)
+        assert sim.get_symbol("OUT") == expected, options.label()

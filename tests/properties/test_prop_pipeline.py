@@ -1,0 +1,101 @@
+"""Property tests: whole-pipeline fuzz over float array kernels.
+
+Generates loop kernels over float arrays (stencil offsets, guarded
+updates, scalar accumulators), computes the expected result with a
+small Python interpreter of the same kernel, and checks the compiled
+program under aggressive optimization settings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+
+N = 24
+
+
+@st.composite
+def stencil_kernels(draw):
+    """A guarded stencil update over a float array, plus an oracle."""
+    coeff_a = draw(st.integers(-3, 3))
+    coeff_b = draw(st.integers(-3, 3))
+    offset = draw(st.integers(1, 2))
+    threshold = draw(st.integers(-20, 20))
+    init_scale = draw(st.integers(1, 5))
+    use_guard = draw(st.booleans())
+
+    guard = (f"if (B[i] < {threshold}.0) "
+             f"{{ OUT[i] = OUT[i] + 1.0; }}" if use_guard else "")
+    source = f"""
+array B[{N}] : float;
+array OUT[{N}] : float;
+var n : int = {N};
+var acc : float = 0.0;
+func main() {{
+    var i : int;
+    for (i = 0; i < n; i = i + 1) {{
+        B[i] = float(i * {init_scale} % 17) - 6.0;
+    }}
+    for (i = {offset}; i < {N - offset}; i = i + 1) {{
+        OUT[i] = B[i - {offset}] * {coeff_a}.0
+               + B[i + {offset}] * {coeff_b}.0;
+        {guard}
+        acc = acc + OUT[i];
+    }}
+}}
+"""
+    b = [float(i * init_scale % 17) - 6.0 for i in range(N)]
+    out = [0.0] * N
+    acc = 0.0
+    for i in range(offset, N - offset):
+        out[i] = b[i - offset] * coeff_a + b[i + offset] * coeff_b
+        if use_guard and b[i] < threshold:
+            out[i] += 1.0
+        acc += out[i]
+    return source, out, acc
+
+
+CONFIGS = [
+    Options(scheduler="balanced", unroll=4),
+    Options(scheduler="balanced", unroll=8, locality=True),
+    Options(scheduler="traditional", unroll=4, trace=True),
+    Options(scheduler="balanced", unroll=4, trace=True, locality=True),
+    Options(scheduler="balanced", unroll=4, extra_opts=True),
+    Options(scheduler="traditional", locality=True, extra_opts=True),
+]
+
+
+@given(stencil_kernels())
+@settings(max_examples=25, deadline=None)
+def test_stencil_kernels_match_oracle(case):
+    source, expected_out, expected_acc = case
+    for options in CONFIGS:
+        result = compile_source(source, options)
+        sim = Simulator(result.program)
+        sim.run(max_instructions=500_000)
+        got = sim.get_symbol("OUT")
+        for i, (value, expect) in enumerate(zip(got, expected_out)):
+            assert abs(value - expect) < 1e-9, (options.label(), i)
+        assert abs(sim.get_symbol("acc") - expected_acc) < 1e-6, \
+            options.label()
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_dynamic_counts_invariant_across_schedulers(seed):
+    """Scheduling never changes what executes, only when."""
+    from repro.workloads import KernelSpec, generate_kernel
+
+    spec = KernelSpec(loads_per_iteration=1 + seed % 4,
+                      flops_per_load=1 + seed % 3,
+                      array_kb=4, sweeps=1,
+                      serial_chain=bool(seed & 1))
+    source = generate_kernel(spec)
+    counts = []
+    for scheduler in ("balanced", "traditional"):
+        result = compile_source(source, Options(scheduler=scheduler))
+        metrics = Simulator(result.program).run(max_instructions=2_000_000)
+        counts.append((metrics.instructions, metrics.loads,
+                       metrics.stores, metrics.branches))
+    assert counts[0] == counts[1]

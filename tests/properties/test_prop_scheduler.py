@@ -1,0 +1,88 @@
+"""Property tests: scheduling on random DAGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import DEFAULT_CONFIG
+from repro.sched import (
+    BalancedWeights,
+    TraditionalWeights,
+    list_schedule,
+    priorities,
+)
+from repro.workloads import random_dag
+
+dag_params = st.tuples(
+    st.integers(min_value=1, max_value=120),      # size
+    st.integers(min_value=1, max_value=10_000),   # seed
+    st.integers(min_value=0, max_value=8),        # load tenths
+)
+
+
+def make_dag(params):
+    size, seed, load_tenths = params
+    return random_dag(size, seed=seed, load_fraction=load_tenths / 10)
+
+
+@given(dag_params)
+@settings(max_examples=60, deadline=None)
+def test_balanced_schedule_is_valid_topological_order(params):
+    dag = make_dag(params)
+    order = list_schedule(dag, BalancedWeights())
+    assert sorted(order) == list(range(len(dag.instrs)))
+    assert dag.topological_check(order)
+
+
+@given(dag_params)
+@settings(max_examples=60, deadline=None)
+def test_traditional_schedule_is_valid_topological_order(params):
+    dag = make_dag(params)
+    order = list_schedule(dag, TraditionalWeights())
+    assert dag.topological_check(order)
+
+
+@given(dag_params)
+@settings(max_examples=60, deadline=None)
+def test_balanced_weights_bounded(params):
+    dag = make_dag(params)
+    weights = BalancedWeights().weights(dag)
+    floor = DEFAULT_CONFIG.load_hit_latency
+    cap = DEFAULT_CONFIG.max_load_weight
+    for node in dag.load_indices():
+        assert floor <= weights[node] <= cap
+
+
+@given(dag_params)
+@settings(max_examples=40, deadline=None)
+def test_non_load_weights_equal_fixed_latencies(params):
+    dag = make_dag(params)
+    balanced = BalancedWeights().weights(dag)
+    traditional = TraditionalWeights().weights(dag)
+    for index, instr in enumerate(dag.instrs):
+        if not instr.is_load:
+            assert balanced[index] == traditional[index]
+
+
+@given(dag_params)
+@settings(max_examples=40, deadline=None)
+def test_priorities_monotone_along_edges(params):
+    dag = make_dag(params)
+    weights = TraditionalWeights().weights(dag)
+    prio = priorities(dag, weights)
+    for src in range(len(dag.instrs)):
+        for dst in dag.succs[src]:
+            assert prio[src] > prio[dst] or weights[src] == 0
+
+
+@given(dag_params)
+@settings(max_examples=30, deadline=None)
+def test_uniform_sharing_never_exceeds_component_sharing(params):
+    """Splitting a contributor over all loads gives each at most the
+    component share (components partition, so shares are larger)."""
+    dag = make_dag(params)
+    component = BalancedWeights(component_sharing=True, cap=None)
+    uniform = BalancedWeights(component_sharing=False, cap=None)
+    w_component = component.weights(dag)
+    w_uniform = uniform.weights(dag)
+    for node in dag.load_indices():
+        assert w_uniform[node] <= w_component[node] + 1e-9

@@ -1,0 +1,61 @@
+"""Basic-block scheduling driver."""
+
+from repro.frontend import frontend
+from repro.codegen.lower import lower
+from repro.ir import build_dag
+from repro.isa import Instruction, Reg
+from repro.sched import BalancedWeights, TraditionalWeights
+from repro.sched.block import schedule_block, schedule_cfg
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def test_schedule_block_keeps_singletons():
+    instrs = [Instruction("NOP")]
+    assert schedule_block(instrs, BalancedWeights()) == instrs
+    assert schedule_block([], BalancedWeights()) == []
+
+
+def test_schedule_block_is_permutation():
+    instrs = [
+        Instruction("LDI", dest=v(0), imm=1),
+        Instruction("LDI", dest=v(1), imm=2),
+        Instruction("ADD", dest=v(2), srcs=(v(0), v(1))),
+        Instruction("MUL", dest=v(3), srcs=(v(2), v(2))),
+    ]
+    out = schedule_block(instrs, TraditionalWeights())
+    assert sorted(i.uid for i in out) == sorted(i.uid for i in instrs)
+
+
+def test_schedule_block_respects_dependences():
+    instrs = [
+        Instruction("LDI", dest=v(0), imm=1),
+        Instruction("ADD", dest=v(1), srcs=(v(0),), imm=1),
+        Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+        Instruction("LDI", dest=v(9), imm=9),
+    ]
+    out = schedule_block(instrs, BalancedWeights())
+    position = {i.uid: k for k, i in enumerate(out)}
+    assert position[instrs[0].uid] < position[instrs[1].uid]
+    assert position[instrs[1].uid] < position[instrs[2].uid]
+
+
+def test_schedule_cfg_preserves_structure(stencil_source):
+    cfg = lower(frontend(stencil_source))
+    labels = list(cfg.order)
+    counts = {b.label: len(b.instrs) for b in cfg}
+    schedule_cfg(cfg, BalancedWeights())
+    assert cfg.order == labels
+    assert {b.label: len(b.instrs) for b in cfg} == counts
+    cfg.verify()        # terminators still at block ends
+
+
+def test_schedule_cfg_keeps_terminators_last(stencil_source):
+    cfg = lower(frontend(stencil_source))
+    schedule_cfg(cfg, TraditionalWeights())
+    for block in cfg:
+        for instr in block.instrs[:-1]:
+            assert not instr.is_branch
+            assert instr.op != "HALT"

@@ -1,0 +1,162 @@
+"""Trace scheduling: formation rules, bookkeeping, end-to-end semantics."""
+
+from repro.harness.compile import Options, compile_source
+from repro.ir import BasicBlock, Cfg
+from repro.isa import Instruction, Reg
+from repro.machine import Simulator
+from repro.sched import BalancedWeights, ProfileData, form_traces, trace_schedule
+
+
+def v(i):
+    return Reg("i", i, virtual=True)
+
+
+def _profile(blocks, edges):
+    return ProfileData(block_counts=dict(blocks), edge_counts=dict(edges))
+
+
+def branchy_cfg() -> Cfg:
+    """entry -> cond -> (hot | cold) -> join -> exit."""
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [
+        Instruction("LDI", dest=v(0), imm=1),
+        Instruction("BEQ", srcs=(v(0),), label="cold"),
+    ], fallthrough="hot"))
+    cfg.add_block(BasicBlock("hot", [
+        Instruction("LDI", dest=v(1), imm=2),
+    ], fallthrough="join"))
+    cfg.add_block(BasicBlock("cold", [
+        Instruction("LDI", dest=v(1), imm=3),
+    ], fallthrough="join"))
+    cfg.add_block(BasicBlock("join", [
+        Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+        Instruction("HALT"),
+    ]))
+    return cfg
+
+
+class TestTraceFormation:
+    def test_hot_path_becomes_one_trace(self):
+        cfg = branchy_cfg()
+        profile = _profile(
+            {"entry": 100, "hot": 95, "cold": 5, "join": 100},
+            {("entry", "hot"): 95, ("entry", "cold"): 5,
+             ("hot", "join"): 95, ("cold", "join"): 5})
+        traces = form_traces(cfg, profile)
+        main_trace = traces[0]
+        assert main_trace == ["entry", "hot", "join"]
+
+    def test_zero_frequency_edges_not_followed(self):
+        cfg = branchy_cfg()
+        profile = _profile({"entry": 1, "hot": 0, "cold": 1, "join": 1},
+                           {("entry", "cold"): 1, ("cold", "join"): 1})
+        traces = form_traces(cfg, profile)
+        assert ["entry", "cold", "join"] in traces or \
+            ["entry", "cold"] in traces
+
+    def test_back_edges_never_crossed(self):
+        cfg = Cfg(entry="entry")
+        cfg.add_block(BasicBlock("entry", [], fallthrough="loop"))
+        cfg.add_block(BasicBlock("loop", [
+            Instruction("BNE", srcs=(v(0),), label="loop"),
+        ], fallthrough="exit"))
+        cfg.add_block(BasicBlock("exit", [Instruction("HALT")]))
+        profile = _profile({"entry": 1, "loop": 100, "exit": 1},
+                           {("entry", "loop"): 1, ("loop", "loop"): 99,
+                            ("loop", "exit"): 1})
+        traces = form_traces(cfg, profile)
+        for trace in traces:
+            assert trace.count("loop") <= 1
+
+    def test_loop_header_only_heads_traces(self):
+        cfg = Cfg(entry="entry")
+        cfg.add_block(BasicBlock("entry", [], fallthrough="header"))
+        cfg.add_block(BasicBlock("header", [
+            Instruction("BNE", srcs=(v(0),), label="header"),
+        ], fallthrough="exit"))
+        cfg.add_block(BasicBlock("exit", [Instruction("HALT")]))
+        profile = _profile({"entry": 10, "header": 10, "exit": 10},
+                           {("entry", "header"): 10,
+                            ("header", "exit"): 10})
+        for trace in form_traces(cfg, profile):
+            if "header" in trace:
+                assert trace[0] == "header"
+
+    def test_frequency_cliffs_break_traces(self):
+        """A 100x hotter block never joins a colder one's trace."""
+        cfg = branchy_cfg()
+        profile = _profile(
+            {"entry": 1, "hot": 1, "cold": 0, "join": 100},
+            {("entry", "hot"): 1, ("hot", "join"): 1})
+        for trace in form_traces(cfg, profile):
+            assert not ("hot" in trace and "join" in trace)
+
+    def test_every_block_in_exactly_one_trace(self):
+        cfg = branchy_cfg()
+        profile = _profile(
+            {"entry": 10, "hot": 6, "cold": 4, "join": 10},
+            {("entry", "hot"): 6, ("entry", "cold"): 4,
+             ("hot", "join"): 6, ("cold", "join"): 4})
+        traces = form_traces(cfg, profile)
+        seen = [label for trace in traces for label in trace]
+        assert sorted(seen) == sorted(cfg.order)
+
+
+class TestTraceScheduling:
+    def test_compensation_keeps_both_paths_correct(self, run_source):
+        source = """
+array OUT[8] : float;
+var which : int = 1;
+var a : float = 0.0;
+func main() {
+    var i : int;
+    for (i = 0; i < 8; i = i + 1) {
+        if (i % 3 == 0) {
+            a = a + 1.5;
+        } else {
+            a = a + float(i);
+        }
+        OUT[i] = a;
+    }
+}
+"""
+        base, base_sim, _ = run_source(source, Options(scheduler="balanced"))
+        traced, traced_sim, _ = run_source(
+            source, Options(scheduler="balanced", trace=True))
+        assert traced_sim.get_symbol("OUT") == base_sim.get_symbol("OUT")
+
+    def test_trace_scheduling_reduces_blocks(self, small_kernel_source):
+        plain = compile_source(small_kernel_source,
+                               Options(scheduler="balanced"))
+        traced = compile_source(small_kernel_source,
+                                Options(scheduler="balanced", trace=True))
+        assert traced.trace_stats is not None
+        assert traced.trace_stats.traces >= 1
+
+    def test_trace_schedule_verifies_cfg(self):
+        cfg = branchy_cfg()
+        profile = _profile(
+            {"entry": 100, "hot": 95, "cold": 5, "join": 100},
+            {("entry", "hot"): 95, ("entry", "cold"): 5,
+             ("hot", "join"): 95, ("cold", "join"): 5})
+        stats = trace_schedule(cfg, profile, BalancedWeights())
+        cfg.verify()
+        assert stats.multi_block_traces >= 1
+
+    def test_off_trace_path_still_reachable(self):
+        cfg = branchy_cfg()
+        profile = _profile(
+            {"entry": 100, "hot": 95, "cold": 5, "join": 100},
+            {("entry", "hot"): 95, ("entry", "cold"): 5,
+             ("hot", "join"): 95, ("cold", "join"): 5})
+        trace_schedule(cfg, profile, BalancedWeights())
+        assert "cold" in cfg.blocks
+
+    def test_semantics_preserved_on_workload(self, stencil_source,
+                                             run_source):
+        base, base_sim, _ = run_source(stencil_source,
+                                       Options(scheduler="traditional"))
+        _, traced_sim, _ = run_source(
+            stencil_source,
+            Options(scheduler="traditional", unroll=4, trace=True))
+        assert traced_sim.get_symbol("V") == base_sim.get_symbol("V")

@@ -1,0 +1,154 @@
+"""Trace-scheduling bookkeeping on hand-built CFGs.
+
+These tests build small CFGs directly, force a profile, trace-schedule,
+and then *execute* the result to verify that split and join bookkeeping
+preserves behaviour on both the hot and the cold path.
+"""
+
+from repro.ir import BasicBlock, Cfg
+from repro.isa import DataSymbol, Instruction, MemRef, Reg
+from repro.machine import Simulator
+from repro.sched import BalancedWeights, ProfileData, trace_schedule
+from repro.sched.trace import TraceScheduler
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def out_symbol(elems=8):
+    return {"OUT": DataSymbol(name="OUT", address=64,
+                              size_bytes=elems * 8, is_fp=False,
+                              dims=(elems,))}
+
+
+def store(value_reg, element):
+    return Instruction("ST", srcs=(value_reg, Reg("i", 31)),
+                       offset=64 + 8 * element,
+                       mem=MemRef("data", "OUT", affine=({}, element)))
+
+
+def build_diamond(cond_value: int) -> Cfg:
+    """entry(cond) -> hot | cold -> join -> exit; join computes from
+    values set on either path and stores several results."""
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [
+        Instruction("LDI", dest=v(0), imm=cond_value),
+        Instruction("LDI", dest=v(10), imm=100),
+        Instruction("BEQ", srcs=(v(0),), label="cold"),
+    ], fallthrough="hot"))
+    cfg.add_block(BasicBlock("hot", [
+        Instruction("LDI", dest=v(1), imm=7),
+        Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+    ], fallthrough="join"))
+    cfg.add_block(BasicBlock("cold", [
+        Instruction("LDI", dest=v(1), imm=70),
+        Instruction("ADD", dest=v(2), srcs=(v(1),), imm=2),
+    ], fallthrough="join"))
+    # The join block has plenty of hoistable work.
+    cfg.add_block(BasicBlock("join", [
+        Instruction("ADD", dest=v(3), srcs=(v(10),), imm=5),
+        Instruction("ADD", dest=v(4), srcs=(v(3),), imm=5),
+        Instruction("ADD", dest=v(5), srcs=(v(2), v(4))),
+        store(v(5), 0),
+        store(v(2), 1),
+        store(v(4), 2),
+    ], fallthrough="exit"))
+    cfg.add_block(BasicBlock("exit", [Instruction("HALT")]))
+    return cfg
+
+
+HOT_PROFILE = ProfileData(
+    block_counts={"entry": 100, "hot": 97, "cold": 3, "join": 100,
+                  "exit": 100},
+    edge_counts={("entry", "hot"): 97, ("entry", "cold"): 3,
+                 ("hot", "join"): 97, ("cold", "join"): 3,
+                 ("join", "exit"): 100})
+
+
+def run_cfg(cfg: Cfg) -> list:
+    program = cfg.linearize()
+    sim = Simulator(program)
+    sim.run()
+    return sim.get_symbol("OUT")
+
+
+def expected(cond_value: int) -> list:
+    if cond_value != 0:            # BEQ not taken -> hot path
+        v2 = 7 + 1
+    else:
+        v2 = 70 + 2
+    v4 = 100 + 5 + 5
+    return [v2 + v4, v2, v4, 0, 0, 0, 0, 0]
+
+
+def test_hot_path_result_after_tracing():
+    cfg = build_diamond(cond_value=1)
+    cfg.symbols = out_symbol()
+    cfg.data_size = 128
+    reference = run_cfg(build_reference(1))
+    trace_schedule(cfg, HOT_PROFILE, BalancedWeights())
+    assert run_cfg(cfg) == reference == expected(1)
+
+
+def test_cold_path_goes_through_compensation():
+    cfg = build_diamond(cond_value=0)
+    cfg.symbols = out_symbol()
+    cfg.data_size = 128
+    reference = run_cfg(build_reference(0))
+    stats = trace_schedule(cfg, HOT_PROFILE, BalancedWeights())
+    assert stats.multi_block_traces >= 1
+    assert run_cfg(cfg) == reference == expected(0)
+
+
+def build_reference(cond_value: int) -> Cfg:
+    cfg = build_diamond(cond_value)
+    cfg.symbols = out_symbol()
+    cfg.data_size = 128
+    return cfg
+
+
+def test_join_hoisting_produces_compensation_code():
+    """With a cold entering edge, join-block work hoists above the
+    marker and must appear in a compensation block."""
+    cfg = build_diamond(cond_value=1)
+    cfg.symbols = out_symbol()
+    cfg.data_size = 128
+    scheduler = TraceScheduler(cfg, HOT_PROFILE, BalancedWeights())
+    stats = scheduler.run()
+    comp_blocks = [b for b in cfg if b.label.startswith(".comp")]
+    if stats.compensation_instructions:
+        assert comp_blocks
+        # Compensation blocks flow back into the join label.
+        for block in comp_blocks:
+            assert block.fallthrough == "join"
+
+
+def test_speculation_respects_off_trace_liveness():
+    """v(1) is written on both sides of the split; the hot side's write
+    must not move above the branch (v1 is live into 'cold'... here we
+    check semantics rather than structure: the cold path sees its own
+    value)."""
+    cfg = build_diamond(cond_value=0)
+    cfg.symbols = out_symbol()
+    cfg.data_size = 128
+    trace_schedule(cfg, HOT_PROFILE, BalancedWeights())
+    out = run_cfg(cfg)
+    assert out[1] == 72                    # the cold path's v(2)
+
+
+def test_single_block_traces_still_scheduled():
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [
+        Instruction("LDI", dest=v(0), imm=1),
+        Instruction("LDI", dest=v(1), imm=2),
+        Instruction("ADD", dest=v(2), srcs=(v(0), v(1))),
+        store(v(2), 0),
+        Instruction("HALT"),
+    ]))
+    cfg.symbols = out_symbol()
+    cfg.data_size = 128
+    profile = ProfileData(block_counts={"entry": 1}, edge_counts={})
+    stats = trace_schedule(cfg, profile, BalancedWeights())
+    assert stats.traces == 1
+    assert run_cfg(cfg)[0] == 3

@@ -1,0 +1,94 @@
+"""Trace formation on awkward CFG shapes."""
+
+from repro.harness.compile import Options, compile_source
+from repro.ir import BasicBlock, Cfg
+from repro.isa import Instruction, Reg
+from repro.machine import Simulator
+from repro.sched import ProfileData, form_traces
+
+
+def v(i):
+    return Reg("i", i, virtual=True)
+
+
+def test_single_block_program_is_one_trace():
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [Instruction("HALT")]))
+    traces = form_traces(cfg, ProfileData(block_counts={"entry": 1}))
+    assert traces == [["entry"]]
+
+
+def test_unprofiled_blocks_become_singleton_traces():
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [], fallthrough="next"))
+    cfg.add_block(BasicBlock("next", [Instruction("HALT")]))
+    traces = form_traces(cfg, ProfileData())   # empty profile
+    flattened = sorted(label for trace in traces for label in trace)
+    assert flattened == ["entry", "next"]
+    assert all(len(trace) == 1 for trace in traces)
+
+
+def test_entry_never_becomes_interior():
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [], fallthrough="a"))
+    cfg.add_block(BasicBlock("a", [
+        Instruction("BEQ", srcs=(v(0),), label="entry"),
+    ], fallthrough="exit"))
+    cfg.add_block(BasicBlock("exit", [Instruction("HALT")]))
+    profile = ProfileData(block_counts={"entry": 5, "a": 5, "exit": 1},
+                          edge_counts={("entry", "a"): 5,
+                                       ("a", "entry"): 4,
+                                       ("a", "exit"): 1})
+    for trace in form_traces(cfg, profile):
+        if "entry" in trace:
+            assert trace[0] == "entry"
+
+
+def test_nested_loop_program_traces_and_runs():
+    source = """
+array M[24][24] : float;
+var n : int = 24;
+var acc : float = 0.0;
+func main() {
+    var i : int; var j : int; var k : int;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            M[i][j] = float(i - j);
+            for (k = 0; k < 4; k = k + 1) {
+                M[i][j] = M[i][j] * 0.5 + 1.0;
+            }
+            acc = acc + M[i][j];
+        }
+    }
+}
+"""
+    plain = compile_source(source, Options(scheduler="balanced"))
+    traced = compile_source(source, Options(scheduler="balanced",
+                                            trace=True))
+    sim_a, sim_b = Simulator(plain.program), Simulator(traced.program)
+    sim_a.run()
+    sim_b.run()
+    assert sim_a.get_symbol("acc") == sim_b.get_symbol("acc")
+    assert sim_a.get_symbol("M") == sim_b.get_symbol("M")
+
+
+def test_while_loop_program_traces_and_runs():
+    source = """
+array OUT[64] : int;
+func main() {
+    var i : int; var x : int;
+    for (i = 0; i < 64; i = i + 1) {
+        x = i + 1;
+        while (x % 7 != 0) { x = x + 1; }
+        OUT[i] = x;
+    }
+}
+"""
+    plain = compile_source(source, Options(scheduler="traditional"))
+    traced = compile_source(source, Options(scheduler="traditional",
+                                            trace=True))
+    sim_a, sim_b = Simulator(plain.program), Simulator(traced.program)
+    sim_a.run()
+    sim_b.run()
+    assert sim_a.get_symbol("OUT") == sim_b.get_symbol("OUT")
+    assert sim_a.get_symbol("OUT")[0] == 7

@@ -1,0 +1,154 @@
+"""Balanced and traditional weight models (paper section 2 / Figure 1)."""
+
+from repro.ir import TRUE, Dag, build_dag
+from repro.isa import Instruction, Locality, MemRef, Reg
+from repro.machine import DEFAULT_CONFIG
+from repro.sched import BalancedWeights, TraditionalWeights
+from repro.workloads import figure1_dag, parallel_loads_dag, serial_loads_dag
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def ld(dest, base, locality=Locality.UNKNOWN):
+    return Instruction("LD", dest=v(dest), srcs=(v(base),),
+                       mem=MemRef("data", "A", affine=None),
+                       locality=locality)
+
+
+class TestTraditional:
+    def test_fixed_architectural_latencies(self):
+        dag = build_dag([
+            Instruction("LDI", dest=v(0), imm=64),
+            ld(1, 0),
+            Instruction("MUL", dest=v(2), srcs=(v(1), v(1))),
+            Instruction("FADD", dest=v(3, "f"), srcs=(v(4, "f"), v(5, "f"))),
+            Instruction("FDIV", dest=v(6, "f"), srcs=(v(3, "f"), v(4, "f"))),
+        ])
+        weights = TraditionalWeights().weights(dag)
+        assert weights == [1.0, 2.0, 8.0, 4.0, 30.0]
+
+    def test_loads_get_optimistic_hit_latency(self):
+        dag = build_dag([Instruction("LDI", dest=v(0), imm=64), ld(1, 0)])
+        assert TraditionalWeights().weights(dag)[1] == \
+            DEFAULT_CONFIG.load_hit_latency
+
+
+class TestBalancedFigure1:
+    def test_paper_figure1_weights(self):
+        """Parallel loads weigh 3, the serial chain weighs 2."""
+        dag = figure1_dag()
+        weights = BalancedWeights().weights(dag)
+        assert weights[1] == 3.0 and weights[2] == 3.0     # L0, L1
+        assert weights[3] == 2.0 and weights[4] == 2.0     # L2, L3
+
+    def test_non_loads_keep_fixed_weights(self):
+        dag = figure1_dag()
+        weights = BalancedWeights().weights(dag)
+        for node in (0, 5, 6, 7):
+            assert weights[node] == 1.0
+
+
+class TestBalancedProperties:
+    def test_weights_floored_at_hit_latency(self):
+        # A load with no independent instructions at all.
+        dag = build_dag([
+            Instruction("LDI", dest=v(0), imm=64),
+            ld(1, 0),
+            Instruction("ADD", dest=v(2), srcs=(v(1),), imm=1),
+        ])
+        weights = BalancedWeights().weights(dag)
+        assert weights[1] == DEFAULT_CONFIG.load_hit_latency
+
+    def test_weights_capped_at_memory_latency(self):
+        dag = parallel_loads_dag(n_loads=1, n_alu=200)
+        weights = BalancedWeights().weights(dag)
+        load = dag.load_indices()[0]
+        assert weights[load] == DEFAULT_CONFIG.max_load_weight
+
+    def test_custom_cap(self):
+        dag = parallel_loads_dag(n_loads=1, n_alu=200)
+        weights = BalancedWeights(cap=10).weights(dag)
+        assert weights[dag.load_indices()[0]] == 10
+
+    def test_parallel_loads_share_equally(self):
+        dag = parallel_loads_dag(n_loads=4, n_alu=8)
+        weights = BalancedWeights().weights(dag)
+        loads = dag.load_indices()
+        values = {weights[i] for i in loads}
+        assert len(values) == 1                  # symmetric -> equal
+
+    def test_serial_chain_gets_less_than_parallel(self):
+        parallel = parallel_loads_dag(n_loads=4, n_alu=8)
+        serial = serial_loads_dag(n_loads=4, n_alu=8)
+        wp = BalancedWeights().weights(parallel)
+        ws = BalancedWeights().weights(serial)
+        # In the chain, the 8 free instructions are shared by 4 loads
+        # in series; in the parallel DAG every load is covered fully.
+        parallel_weight = wp[parallel.load_indices()[0]]
+        serial_weight = ws[serial.load_indices()[1]]
+        assert serial_weight < parallel_weight
+
+    def test_more_alu_work_raises_weights(self):
+        small = parallel_loads_dag(n_loads=2, n_alu=2)
+        big = parallel_loads_dag(n_loads=2, n_alu=12)
+        w_small = BalancedWeights().weights(small)
+        w_big = BalancedWeights().weights(big)
+        assert w_big[big.load_indices()[0]] > \
+            w_small[small.load_indices()[0]]
+
+
+class TestLocalitySelectivity:
+    def _dag(self):
+        return build_dag([
+            Instruction("LDI", dest=v(0), imm=64),
+            ld(1, 0, locality=Locality.HIT),
+            ld(2, 0, locality=Locality.MISS),
+            Instruction("ADD", dest=v(3), srcs=(v(0),), imm=1),
+            Instruction("ADD", dest=v(4), srcs=(v(0),), imm=2),
+        ])
+
+    def test_hit_loads_keep_optimistic_weight(self):
+        weights = BalancedWeights(use_locality=True).weights(self._dag())
+        assert weights[1] == DEFAULT_CONFIG.load_hit_latency
+
+    def test_hit_loads_contribute_to_miss_loads(self):
+        with_locality = BalancedWeights(use_locality=True)
+        without = BalancedWeights(use_locality=False)
+        dag = self._dag()
+        w_with = with_locality.weights(dag)
+        w_without = without.weights(dag)
+        # With locality, the hit load frees its share for the miss.
+        assert w_with[2] > w_without[2]
+
+    def test_locality_ignored_when_disabled(self):
+        weights = BalancedWeights(use_locality=False).weights(self._dag())
+        assert weights[1] == weights[2]
+
+
+class TestComponentSharingAblation:
+    def test_uniform_sharing_differs_on_figure1(self):
+        dag = figure1_dag()
+        component = BalancedWeights(component_sharing=True).weights(dag)
+        uniform = BalancedWeights(component_sharing=False).weights(dag)
+        # Uniform: X1/X2 each give 1/4 to all four loads -> all 2.0
+        # under the hit floor; component sharing separates them.
+        assert uniform[1] == uniform[3]
+        assert component[1] > component[3]
+
+    def test_both_rules_agree_with_no_serial_loads(self):
+        dag = parallel_loads_dag(n_loads=3, n_alu=6)
+        a = BalancedWeights(component_sharing=True).weights(dag)
+        b = BalancedWeights(component_sharing=False).weights(dag)
+        loads = dag.load_indices()
+        # All loads are mutually... NOT independent of each other's
+        # consumers, but pairwise parallel: each contributor covers all
+        # three at once under component sharing, 1/3 each under uniform.
+        assert all(a[i] >= b[i] for i in loads)
+
+
+def test_empty_dag():
+    dag = Dag([])
+    assert BalancedWeights().weights(dag) == []
+    assert TraditionalWeights().weights(dag) == []

@@ -1,0 +1,50 @@
+"""Parametric kernel generator."""
+
+import pytest
+
+from repro.frontend import frontend
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+from repro.workloads import KernelSpec, generate_kernel
+
+
+def test_generated_source_is_valid():
+    source = generate_kernel(KernelSpec())
+    program = frontend(source)
+    assert program.function("main") is not None
+
+
+@pytest.mark.parametrize("loads", [1, 3, 6])
+def test_load_count_scales(loads):
+    spec = KernelSpec(loads_per_iteration=loads, array_kb=8, sweeps=1)
+    result = compile_source(generate_kernel(spec), Options(), "gen")
+    hot = max(result.cfg, key=lambda b: len(b.instrs))
+    block_loads = sum(1 for i in hot.instrs if i.is_load)
+    assert block_loads >= loads
+
+
+def test_array_size_respected():
+    small = generate_kernel(KernelSpec(array_kb=4))
+    large = generate_kernel(KernelSpec(array_kb=256))
+    small_prog = compile_source(small, Options(), "s").program
+    large_prog = compile_source(large, Options(), "l").program
+    assert large_prog.data_size > 8 * small_prog.data_size
+
+
+def test_serial_and_parallel_shapes_both_run():
+    for serial in (False, True):
+        spec = KernelSpec(loads_per_iteration=2, array_kb=8, sweeps=1,
+                          serial_chain=serial)
+        result = compile_source(generate_kernel(spec), Options(), "gen")
+        metrics = Simulator(result.program).run()
+        assert metrics.instructions > 1000
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(ValueError):
+        generate_kernel(KernelSpec(loads_per_iteration=0))
+
+
+def test_describe():
+    text = KernelSpec(serial_chain=True).describe()
+    assert "serial" in text and "loads/iter" in text

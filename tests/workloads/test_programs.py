@@ -1,0 +1,115 @@
+"""Workload definitions: structure, compilability, paper characteristics."""
+
+import pytest
+
+from repro.frontend import frontend
+from repro.harness.compile import Options, compile_source
+from repro.machine import Simulator
+from repro.opt.unroll import unroll_program
+from repro.workloads import WORKLOAD_ORDER, WORKLOADS, get_workload
+
+PAPER_BENCHMARKS = [
+    "ARC2D", "BDNA", "DYFESM", "MDG", "QCD2", "TRFD", "alvinn", "dnasa7",
+    "doduc", "ear", "hydro2d", "mdljdp2", "ora", "spice2g6", "su2cor",
+    "swm256", "tomcatv",
+]
+
+
+def test_all_seventeen_paper_benchmarks_present():
+    assert WORKLOAD_ORDER == PAPER_BENCHMARKS
+    assert len(WORKLOADS) == 17
+
+
+def test_languages_match_table1():
+    assert WORKLOADS["alvinn"].language == "C"
+    assert WORKLOADS["ear"].language == "C"
+    fortran = [w for w in WORKLOADS.values() if w.language == "Fortran"]
+    assert len(fortran) == 15
+
+
+@pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+def test_workloads_parse_and_typecheck(name):
+    frontend(WORKLOADS[name].source, name)
+
+
+@pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+def test_workloads_compile_under_full_pipeline(name):
+    result = compile_source(WORKLOADS[name].source,
+                            Options(scheduler="balanced", unroll=4),
+                            name)
+    assert len(result.program) > 0
+    result.program.resolve()
+
+
+def test_get_workload():
+    assert get_workload("ora").name == "ora"
+    with pytest.raises(KeyError):
+        get_workload("nonesuch")
+
+
+class TestPaperCharacteristics:
+    """Structural properties the paper attributes to each benchmark."""
+
+    def test_bdna_body_too_large_to_unroll(self):
+        program = frontend(WORKLOADS["BDNA"].source)
+        stats = unroll_program(program, 4)
+        assert stats.skipped_size >= 1
+
+    def test_mdg_blocked_by_multiple_conditionals(self):
+        program = frontend(WORKLOADS["MDG"].source)
+        stats = unroll_program(program, 4)
+        assert stats.skipped_branches >= 1
+
+    def test_mdljdp2_blocked_by_multiple_conditionals(self):
+        program = frontend(WORKLOADS["mdljdp2"].source)
+        stats = unroll_program(program, 4)
+        assert stats.skipped_branches >= 1
+
+    def test_swm256_partial_at_8_none_at_4(self):
+        """The paper's footnote: the cap binds harder at factor 4."""
+        program4 = frontend(WORKLOADS["swm256"].source)
+        stats4 = unroll_program(program4, 4)
+        program8 = frontend(WORKLOADS["swm256"].source)
+        stats8 = unroll_program(program8, 8)
+        hot4 = [f for f in stats4.factors]
+        hot8 = [f for f in stats8.factors]
+        assert stats8.unrolled >= stats4.unrolled
+        assert max(hot8, default=1) > max(hot4, default=1) or \
+            stats4.skipped_size > stats8.skipped_size
+
+    def test_ora_has_no_unrollable_hot_loop(self):
+        program = frontend(WORKLOADS["ora"].source)
+        stats = unroll_program(program, 4)
+        # The driver loop's inlined body exceeds the cap.
+        assert stats.skipped_size >= 1
+
+    def test_ora_is_nearly_load_free(self):
+        result = compile_source(WORKLOADS["ora"].source, Options(), "ora")
+        sim = Simulator(result.program)
+        metrics = sim.run()
+        assert metrics.load_interlock_fraction < 0.02
+
+    def test_spice_is_load_interlock_dominated(self):
+        result = compile_source(WORKLOADS["spice2g6"].source, Options(),
+                                "spice2g6")
+        metrics = Simulator(result.program).run()
+        assert metrics.load_interlock_fraction > 0.15
+
+    def test_doduc_is_fixed_latency_dominated(self):
+        result = compile_source(WORKLOADS["doduc"].source, Options(),
+                                "doduc")
+        metrics = Simulator(result.program).run()
+        assert metrics.fixed_interlock_cycles > \
+            4 * metrics.load_interlock_cycles
+
+
+@pytest.mark.parametrize("name", ["DYFESM", "MDG", "ora", "mdljdp2",
+                                  "doduc"])
+def test_runs_are_deterministic(name):
+    source = WORKLOADS[name].source
+    cycles = []
+    for _ in range(2):
+        result = compile_source(source, Options(scheduler="balanced"), name)
+        metrics = Simulator(result.program).run()
+        cycles.append(metrics.total_cycles)
+    assert cycles[0] == cycles[1]

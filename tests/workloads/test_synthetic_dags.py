@@ -1,0 +1,58 @@
+"""Synthetic DAG generators."""
+
+from repro.workloads import (
+    figure1_dag,
+    parallel_loads_dag,
+    random_dag,
+    serial_loads_dag,
+)
+
+
+def test_figure1_shape():
+    dag = figure1_dag()
+    assert len(dag.instrs) == 8
+    assert dag.load_indices() == [1, 2, 3, 4]
+    assert dag.independent(5, 1)          # X1 can hide L0
+    assert not dag.independent(3, 4)      # L2 -> L3 chain
+
+
+def test_parallel_loads_structure():
+    dag = parallel_loads_dag(n_loads=5, n_alu=3)
+    loads = dag.load_indices()
+    assert len(loads) == 5
+    for a in loads:
+        for b in loads:
+            if a != b:
+                assert dag.independent(a, b)
+
+
+def test_serial_loads_structure():
+    dag = serial_loads_dag(n_loads=5, n_alu=3)
+    loads = dag.load_indices()
+    assert len(loads) == 5
+    for earlier, later in zip(loads, loads[1:]):
+        assert not dag.independent(earlier, later)
+
+
+def test_random_dag_deterministic():
+    a = random_dag(50, seed=7)
+    b = random_dag(50, seed=7)
+    assert [i.op for i in a.instrs] == [i.op for i in b.instrs]
+    assert a.edge_count() == b.edge_count()
+
+
+def test_random_dag_seed_changes_shape():
+    a = random_dag(50, seed=7)
+    b = random_dag(50, seed=8)
+    assert [i.op for i in a.instrs] != [i.op for i in b.instrs]
+
+
+def test_random_dag_is_acyclic_by_construction():
+    dag = random_dag(80, seed=3)
+    assert dag.topological_check(list(range(len(dag.instrs))))
+
+
+def test_random_dag_load_fraction_scales():
+    few = random_dag(200, seed=5, load_fraction=0.1)
+    many = random_dag(200, seed=5, load_fraction=0.6)
+    assert len(many.load_indices()) > len(few.load_indices())

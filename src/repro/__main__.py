@@ -17,6 +17,7 @@ Common compiler flags: ``--scheduler {balanced,traditional,none}``,
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -30,6 +31,22 @@ from .harness import (
 )
 from .machine import DEFAULT_CONFIG, Simulator
 from .workloads import WORKLOAD_ORDER, WORKLOADS
+
+
+def _default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS")
+    return int(env) if env else 1
+
+
+def _resolve_jobs(jobs: int) -> int:
+    return jobs if jobs > 0 else (os.cpu_count() or 1)
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=_default_jobs(),
+        help="worker processes for the experiment grid "
+             "(default: $REPRO_JOBS or 1; 0 = all cores)")
 
 
 def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
@@ -78,9 +95,12 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(verbose=True)
+    runner = ExperimentRunner(verbose=True, jobs=_resolve_jobs(args.jobs))
     names = args.names or list(WORKLOAD_ORDER)
     configs = args.configs or ["base", "lu4", "lu8"]
+    # Fan the grid out first (parallel when --jobs > 1); printing below
+    # then reads the warmed in-memory cache in deterministic order.
+    runner.sweep(benchmarks=names, configs=configs)
     header = (f"{'benchmark':<11}{'config':<9}{'scheduler':<12}"
               f"{'cycles':>10}{'instrs':>10}{'ld-intlk%':>10}")
     print(header)
@@ -93,12 +113,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
                       f"{result.total_cycles:>10}"
                       f"{result.instructions:>10}"
                       f"{100 * result.load_interlock_fraction:>9.1f}%")
+    if runner.use_cache:
+        print(f"run manifest: {runner.manifest_path}", file=sys.stderr)
     return 0
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(verbose=True)
+    runner = ExperimentRunner(verbose=True, jobs=_resolve_jobs(args.jobs))
     numbers = args.numbers or sorted(ALL_TABLES)
+    if runner.jobs > 1 and any(n > 3 for n in numbers):
+        runner.sweep()          # warm the full grid across all cores
     for number in numbers:
         fn = ALL_TABLES[number]
         table = fn() if number <= 3 else fn(runner)
@@ -110,7 +134,7 @@ def cmd_tables(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from .harness.report import build_report, write_report
 
-    runner = ExperimentRunner(verbose=True)
+    runner = ExperimentRunner(verbose=True, jobs=_resolve_jobs(args.jobs))
     if args.output:
         text = write_report(args.output, runner)
         print(f"report written to {args.output}", file=sys.stderr)
@@ -154,16 +178,19 @@ def main(argv: list[str] | None = None) -> int:
                          help="benchmark names (default: all)")
     p_bench.add_argument("--configs", nargs="*", choices=list(CONFIGS),
                          help="grid configs (default: base lu4 lu8)")
+    _add_jobs_flag(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
     p_tables.add_argument("numbers", nargs="*", type=int,
                           choices=sorted(ALL_TABLES))
+    _add_jobs_flag(p_tables)
     p_tables.set_defaults(fn=cmd_tables)
 
     p_report = sub.add_parser("report",
                               help="paper-vs-measured markdown report")
     p_report.add_argument("--output", "-o", default=None)
+    _add_jobs_flag(p_report)
     p_report.set_defaults(fn=cmd_report)
 
     p_work = sub.add_parser("workloads", help="list the workload")

@@ -13,6 +13,7 @@ from .experiment import (
     SCHEDULERS,
     ExperimentRunner,
     RunResult,
+    RunTiming,
     arithmetic_mean,
     geometric_mean,
     options_for,
@@ -38,7 +39,7 @@ __all__ = [
     "CompileResult", "Options", "compile_and_run", "compile_source",
     "make_weight_model", "run_compiled",
     "CONFIGS", "SCHEDULERS", "ExperimentRunner", "RunResult",
-    "arithmetic_mean", "geometric_mean", "options_for",
+    "RunTiming", "arithmetic_mean", "geometric_mean", "options_for",
     "build_report", "write_report",
     "ALL_TABLES", "Table", "format_table", "generate_all",
     "table1", "table2", "table3", "table4", "table5", "table6",

@@ -20,6 +20,7 @@ frequencies feed trace formation (the paper's methodology, section 4.2).
 from __future__ import annotations
 
 import copy as _copy
+import time
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -94,6 +95,9 @@ class CompileResult:
     locality_stats: Optional[LocalityStats] = None
     trace_stats: Optional[object] = None
     profile: Optional[ProfileData] = None
+    #: Wall-clock seconds per pipeline phase: ``compile`` (frontend +
+    #: AST transforms + lowering + cleanups), ``schedule``, ``regalloc``.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def static_instructions(self) -> int:
@@ -116,6 +120,7 @@ def compile_source(source: str, options: Options = Options(),
                    name: str = "program") -> CompileResult:
     """Compile *source* under *options* to an executable program."""
     options.validate()
+    phase_start = time.perf_counter()
     program_ast = frontend(source, name)
 
     unroll_stats = None
@@ -141,6 +146,7 @@ def compile_source(source: str, options: Options = Options(),
         propagate_copies(cfg)
         eliminate_dead_code(cfg)
 
+    compile_done = time.perf_counter()
     model = make_weight_model(options)
     trace_stats = None
     profile = None
@@ -149,14 +155,22 @@ def compile_source(source: str, options: Options = Options(),
         trace_stats = trace_schedule(cfg, profile, model)
     elif model is not None:
         schedule_cfg(cfg, model)
+    schedule_done = time.perf_counter()
 
     allocation = allocate_registers(cfg)
+    regalloc_done = time.perf_counter()
     program = cfg.linearize()
     verify_program(program)
+    phase_seconds = {
+        "compile": compile_done - phase_start,
+        "schedule": schedule_done - compile_done,
+        "regalloc": regalloc_done - schedule_done,
+    }
     return CompileResult(program=program, cfg=cfg, options=options,
                          allocation=allocation, unroll_stats=unroll_stats,
                          locality_stats=locality_stats,
-                         trace_stats=trace_stats, profile=profile)
+                         trace_stats=trace_stats, profile=profile,
+                         phase_seconds=phase_seconds)
 
 
 def _collect_profile(cfg: Cfg, options: Options) -> ProfileData:

@@ -8,15 +8,31 @@ returns a compact :class:`RunResult`.
 
 Results are cached on disk (keyed by a hash of the package sources,
 the workload program and the configuration), so regenerating all
-tables after the first full run is cheap.  Set ``REPRO_NO_CACHE=1`` to
-disable the cache.
+tables after the first full run is cheap.  Cache writes are atomic
+(temp file + ``os.replace``) so concurrent or interrupted runs never
+leave a torn entry; corrupt entries are discarded and recomputed.
+Set ``REPRO_CACHE_DIR`` to relocate the cache and ``REPRO_NO_CACHE=1``
+to disable it.
+
+The grid points are embarrassingly parallel: ``sweep(jobs=N)`` fans
+the uncached points out over a :class:`ProcessPoolExecutor` (one
+worker call per ``(benchmark, scheduler, config)`` point) and returns
+results in deterministic grid order regardless of completion order.
+Every executed point records per-phase wall-clock timings (compile /
+schedule / regalloc / simulate) and simulated-instruction throughput;
+``sweep`` writes a structured JSON *run manifest* next to the cache.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
+import sys
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -40,6 +56,8 @@ CONFIGS: dict[str, dict] = {
 }
 
 SCHEDULERS = ("balanced", "traditional")
+
+MANIFEST_NAME = "run-manifest.json"
 
 
 @dataclass
@@ -78,26 +96,142 @@ class RunResult:
                 if self.total_cycles else 0.0)
 
 
+@dataclass
+class RunTiming:
+    """Wall-clock observability for one grid point (not part of the
+    deterministic :class:`RunResult`, so it never enters the cache key
+    or result equality)."""
+
+    benchmark: str
+    scheduler: str
+    config: str
+    cached: bool
+    #: Seconds per phase: ``compile`` (frontend + AST transforms +
+    #: lowering + cleanups), ``schedule``, ``regalloc``, ``simulate``.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    simulated_instructions: int = 0
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Simulated-instruction throughput of the simulate phase."""
+        sim = self.phase_seconds.get("simulate", 0.0)
+        return self.simulated_instructions / sim if sim > 0 else 0.0
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["instructions_per_second"] = round(
+            self.instructions_per_second, 1)
+        return data
+
+
 def options_for(scheduler: str, config: str) -> Options:
     """Build compiler options for a named grid point."""
     knobs = CONFIGS[config]
     return Options(scheduler=scheduler, **knobs)
 
 
-def _package_fingerprint() -> str:
-    """Hash of all package sources: invalidates the cache on changes."""
-    root = Path(__file__).resolve().parent.parent
+def _package_fingerprint(root: Optional[Path] = None) -> str:
+    """Hash of all package sources: invalidates the cache on changes.
+
+    Both each file's repo-relative *path* and its contents are mixed
+    into the digest (with length framing), so renaming a module or
+    moving code between files changes the fingerprint even when the
+    concatenated bytes would not.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
-        digest.update(path.read_bytes())
+        rel = path.relative_to(root).as_posix().encode()
+        body = path.read_bytes()
+        digest.update(len(rel).to_bytes(4, "little"))
+        digest.update(rel)
+        digest.update(len(body).to_bytes(8, "little"))
+        digest.update(body)
     return digest.hexdigest()[:16]
+
+
+def _atomic_write_json(path: Path, payload) -> None:
+    """Write JSON atomically: temp file in the same directory, then
+    ``os.replace``.  Readers never observe a torn file, and concurrent
+    writers of the same (deterministic) entry simply race to publish
+    identical contents."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _execute_grid_point(workload: Workload, scheduler: str,
+                        config: str) -> tuple[RunResult, RunTiming]:
+    """Compile and simulate one grid point, with phase timings."""
+    start = time.perf_counter()
+    compiled = compile_source(workload.source,
+                              options_for(scheduler, config),
+                              workload.name)
+    sim = Simulator(compiled.program)
+    metrics = sim.run()
+    total_seconds = time.perf_counter() - start
+    phases = dict(compiled.phase_seconds)
+    phases["simulate"] = sim.run_seconds
+    result = RunResult(
+        benchmark=workload.name, scheduler=scheduler, config=config,
+        total_cycles=metrics.total_cycles,
+        instructions=metrics.instructions,
+        load_interlock_cycles=metrics.load_interlock_cycles,
+        fixed_interlock_cycles=metrics.fixed_interlock_cycles,
+        icache_stall_cycles=metrics.icache_stall_cycles,
+        branch_stall_cycles=metrics.branch_stall_cycles,
+        mshr_stall_cycles=metrics.mshr_stall_cycles,
+        spill_loads=metrics.spill_loads,
+        spill_stores=metrics.spill_stores,
+        loads=metrics.loads, stores=metrics.stores,
+        branches=metrics.branches,
+        short_int=metrics.short_int, long_int=metrics.long_int,
+        short_fp=metrics.short_fp, long_fp=metrics.long_fp,
+        l1d_misses=metrics.l1d.misses, l2_misses=metrics.l2.misses,
+        l3_misses=metrics.l3.misses,
+        branch_mispredicts=metrics.branch_mispredicts,
+        static_instructions=len(compiled.program),
+        spill_slots=compiled.allocation.n_slots)
+    timing = RunTiming(
+        benchmark=workload.name, scheduler=scheduler, config=config,
+        cached=False, phase_seconds=phases, total_seconds=total_seconds,
+        simulated_instructions=metrics.instructions)
+    return result, timing
+
+
+def _pool_run(benchmark: str, scheduler: str, config: str,
+              cache_dir: str, use_cache: bool, fingerprint: str):
+    """Worker entry point: one grid point in a child process.
+
+    The parent's pre-computed package fingerprint is passed in so the
+    worker never re-hashes the package sources.
+    """
+    runner = ExperimentRunner(cache_dir=Path(cache_dir),
+                              fingerprint=fingerprint)
+    runner.use_cache = use_cache
+    result = runner.run(benchmark, scheduler, config)
+    timing = runner.timings.get((benchmark, scheduler, config))
+    return benchmark, scheduler, config, result, timing
 
 
 class ExperimentRunner:
     """Compiles, simulates and caches the full experiment grid."""
 
     def __init__(self, cache_dir: Optional[Path] = None,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False, jobs: int = 1,
+                 fingerprint: Optional[str] = None) -> None:
         if cache_dir is None:
             cache_dir = Path(
                 os.environ.get("REPRO_CACHE_DIR",
@@ -105,8 +239,13 @@ class ExperimentRunner:
         self.cache_dir = Path(cache_dir)
         self.use_cache = os.environ.get("REPRO_NO_CACHE") != "1"
         self.verbose = verbose
-        self._fingerprint = _package_fingerprint()
+        self.jobs = max(1, jobs)
+        # Hashing the package is not free; workers receive the parent's
+        # fingerprint instead of recomputing it per process.
+        self._fingerprint = fingerprint or _package_fingerprint()
         self._memory: dict[tuple[str, str, str], RunResult] = {}
+        #: Observability for every grid point touched by this runner.
+        self.timings: dict[tuple[str, str, str], RunTiming] = {}
 
     # -------------------------------------------------------------- cache
     def _cache_path(self, workload: Workload, scheduler: str,
@@ -123,14 +262,19 @@ class ExperimentRunner:
         try:
             data = json.loads(path.read_text())
             return RunResult(**data)
-        except (ValueError, TypeError):
+        except (ValueError, TypeError, OSError):
+            # Torn or stale-schema entry: drop it so the refreshed
+            # result replaces it (another process may already have).
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
             return None
 
     def _store_cached(self, path: Path, result: RunResult) -> None:
         if not self.use_cache:
             return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(asdict(result)))
+        _atomic_write_json(path, asdict(result))
 
     # --------------------------------------------------------------- runs
     def run(self, benchmark: str, scheduler: str, config: str) -> RunResult:
@@ -140,63 +284,158 @@ class ExperimentRunner:
             return self._memory[key]
         workload = WORKLOADS[benchmark]
         path = self._cache_path(workload, scheduler, config)
+        start = time.perf_counter()
         result = self._load_cached(path)
-        if result is None:
-            result = self._execute(workload, scheduler, config)
+        if result is not None:
+            self.timings[key] = RunTiming(
+                benchmark=benchmark, scheduler=scheduler, config=config,
+                cached=True, total_seconds=time.perf_counter() - start,
+                simulated_instructions=result.instructions)
+        else:
+            if self.verbose:
+                print(f"  running {benchmark} / {scheduler} / {config}")
+            result, timing = _execute_grid_point(workload, scheduler,
+                                                config)
+            self.timings[key] = timing
             self._store_cached(path, result)
         self._memory[key] = result
         return result
 
-    def _execute(self, workload: Workload, scheduler: str,
-                 config: str) -> RunResult:
-        if self.verbose:
-            print(f"  running {workload.name} / {scheduler} / {config}")
-        compiled = compile_source(workload.source,
-                                  options_for(scheduler, config),
-                                  workload.name)
-        sim = Simulator(compiled.program)
-        metrics = sim.run()
-        return RunResult(
-            benchmark=workload.name, scheduler=scheduler, config=config,
-            total_cycles=metrics.total_cycles,
-            instructions=metrics.instructions,
-            load_interlock_cycles=metrics.load_interlock_cycles,
-            fixed_interlock_cycles=metrics.fixed_interlock_cycles,
-            icache_stall_cycles=metrics.icache_stall_cycles,
-            branch_stall_cycles=metrics.branch_stall_cycles,
-            mshr_stall_cycles=metrics.mshr_stall_cycles,
-            spill_loads=metrics.spill_loads,
-            spill_stores=metrics.spill_stores,
-            loads=metrics.loads, stores=metrics.stores,
-            branches=metrics.branches,
-            short_int=metrics.short_int, long_int=metrics.long_int,
-            short_fp=metrics.short_fp, long_fp=metrics.long_fp,
-            l1d_misses=metrics.l1d.misses, l2_misses=metrics.l2.misses,
-            l3_misses=metrics.l3.misses,
-            branch_mispredicts=metrics.branch_mispredicts,
-            static_instructions=len(compiled.program),
-            spill_slots=compiled.allocation.n_slots)
-
     # ------------------------------------------------------------- sweeps
     def sweep(self, benchmarks: Optional[list[str]] = None,
               schedulers=SCHEDULERS,
-              configs: Optional[list[str]] = None) -> list[RunResult]:
-        """Run (or fetch) a whole sub-grid."""
-        results = []
-        for benchmark in benchmarks or list(WORKLOADS):
-            for scheduler in schedulers:
-                for config in configs or list(CONFIGS):
-                    results.append(self.run(benchmark, scheduler, config))
+              configs: Optional[list[str]] = None,
+              jobs: Optional[int] = None) -> list[RunResult]:
+        """Run (or fetch) a whole sub-grid.
+
+        With ``jobs > 1`` the uncached grid points fan out over a
+        process pool; results come back in deterministic grid order
+        (benchmark-major, then scheduler, then config) regardless of
+        completion order, bit-identical to the serial path.
+        """
+        grid = [(benchmark, scheduler, config)
+                for benchmark in (benchmarks or list(WORKLOADS))
+                for scheduler in schedulers
+                for config in (configs or list(CONFIGS))]
+        jobs = self.jobs if jobs is None else max(1, jobs)
+        sweep_start = time.perf_counter()
+
+        # Resolve memory/disk hits in-process; only misses need a core.
+        pending: list[tuple[str, str, str]] = []
+        for key in grid:
+            if key in self._memory:
+                continue
+            benchmark, scheduler, config = key
+            path = self._cache_path(WORKLOADS[benchmark], scheduler,
+                                    config)
+            cached = self._load_cached(path)
+            if cached is not None:
+                self._memory[key] = cached
+                self.timings[key] = RunTiming(
+                    benchmark=benchmark, scheduler=scheduler,
+                    config=config, cached=True,
+                    simulated_instructions=cached.instructions)
+            else:
+                pending.append(key)
+
+        unique_pending = list(dict.fromkeys(pending))
+        if len(unique_pending) <= 1 or jobs == 1:
+            for done, key in enumerate(unique_pending, start=1):
+                self.run(*key)
+                self._progress(done, len(unique_pending), key)
+        else:
+            self._sweep_parallel(unique_pending, jobs)
+
+        results = [self._memory[key] for key in grid]
+        self._write_manifest(grid, jobs,
+                             time.perf_counter() - sweep_start)
         return results
+
+    def _sweep_parallel(self, pending: list[tuple[str, str, str]],
+                        jobs: int) -> None:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_pool_run, benchmark, scheduler, config,
+                            str(self.cache_dir), self.use_cache,
+                            self._fingerprint): (benchmark, scheduler,
+                                                 config)
+                for benchmark, scheduler, config in pending}
+            for done, future in enumerate(as_completed(futures), start=1):
+                benchmark, scheduler, config, result, timing = (
+                    future.result())
+                key = (benchmark, scheduler, config)
+                self._memory[key] = result
+                if timing is not None:
+                    self.timings[key] = timing
+                self._progress(done, len(pending), key)
+
+    def _progress(self, done: int, total: int,
+                  key: tuple[str, str, str]) -> None:
+        if not self.verbose:
+            return
+        timing = self.timings.get(key)
+        detail = ""
+        if timing is not None and not timing.cached:
+            detail = (f" {timing.total_seconds:.2f}s"
+                      f" ({timing.instructions_per_second / 1e3:.0f}k"
+                      f" sim instr/s)")
+        benchmark, scheduler, config = key
+        print(f"  [{done}/{total}] {benchmark}/{scheduler}/{config}"
+              f"{detail}", file=sys.stderr)
+
+    # ----------------------------------------------------------- manifest
+    @property
+    def manifest_path(self) -> Path:
+        return self.cache_dir / MANIFEST_NAME
+
+    def _write_manifest(self, grid: list[tuple[str, str, str]],
+                        jobs: int, wall_seconds: float) -> None:
+        """Structured JSON record of the last sweep, next to the cache."""
+        if not self.use_cache:
+            return
+        runs = []
+        for key in dict.fromkeys(grid):
+            timing = self.timings.get(key)
+            result = self._memory.get(key)
+            if timing is None or result is None:
+                continue
+            entry = timing.to_json()
+            entry["total_cycles"] = result.total_cycles
+            runs.append(entry)
+        executed = [r for r in runs if not r["cached"]]
+        payload = {
+            "version": 1,
+            "fingerprint": self._fingerprint,
+            "jobs": jobs,
+            "grid_points": len(dict.fromkeys(grid)),
+            "executed": len(executed),
+            "cached": len(runs) - len(executed),
+            "wall_seconds": round(wall_seconds, 3),
+            "simulated_instructions": sum(
+                r["simulated_instructions"] for r in executed),
+            "runs": runs,
+        }
+        _atomic_write_json(self.manifest_path, payload)
 
 
 def geometric_mean(values: list[float]) -> float:
+    """Geometric mean in the log domain.
+
+    Multiplying raw cycle counts overflows to ``inf`` (or underflows
+    to ``0.0``) long before a 340-point grid is folded in; summing
+    logs with :func:`math.fsum` is exact to the last bit instead.
+    Non-positive inputs have no geometric mean and raise rather than
+    silently corrupting the result.
+    """
     if not values:
         return 0.0
-    product = 1.0
     for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+        if value <= 0:
+            raise ValueError(
+                f"geometric_mean requires positive values, got {value!r}")
+    return math.exp(math.fsum(math.log(value) for value in values)
+                    / len(values))
 
 
 def arithmetic_mean(values: list[float]) -> float:

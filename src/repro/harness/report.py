@@ -90,6 +90,10 @@ HEADLINE_METRICS: tuple[Metric, ...] = (
 def build_report(runner: Optional[ExperimentRunner] = None) -> str:
     """Render the comparison as a markdown table."""
     runner = runner or ExperimentRunner()
+    if getattr(runner, "jobs", 1) > 1:
+        # The headline metrics walk the grid serially; warm the cache
+        # across all worker processes first.
+        runner.sweep()
     lines = [
         "# Reproduction report",
         "",

@@ -23,6 +23,7 @@ frequencies (the paper's profiling step for trace selection).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from ..isa import MachineProgram, OpClass, Reg
@@ -106,6 +107,9 @@ class Simulator:
                 self._block_starts[index] = label
 
         self.metrics = Metrics()
+        #: Wall-clock seconds of the last :meth:`run` (harness
+        #: observability: simulated-instructions-per-second throughput).
+        self.run_seconds: float = 0.0
         self._decoded = self._predecode()
 
     # ---------------------------------------------------------- registers
@@ -178,6 +182,7 @@ class Simulator:
 
     # -------------------------------------------------------------- run
     def run(self, max_instructions: int = 200_000_000) -> Metrics:
+        wall_start = time.perf_counter()
         m = self.metrics
         config = self.config
         regs = self.regs
@@ -460,6 +465,7 @@ class Simulator:
         m.dtlb_misses = self.dtlb.misses
         m.itlb_misses = self.itlb.misses
         m.branch_mispredicts = self.bpred.mispredicts
+        self.run_seconds = time.perf_counter() - wall_start
         return m
 
     # ------------------------------------------------------ memory timing

@@ -1,8 +1,11 @@
 """CLI: bench and dump paths that need real (small) runs."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.harness.experiment import MANIFEST_NAME
 
 
 def test_bench_subset(capsys, tmp_path, monkeypatch):
@@ -16,6 +19,27 @@ def test_bench_subset(capsys, tmp_path, monkeypatch):
     data_rows = [line for line in out.splitlines()
                  if line.startswith("ora")]
     assert len(data_rows) == 2
+
+
+def test_bench_jobs_flag_parallel(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["bench", "ora", "--configs", "base", "lu4",
+                 "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    data_rows = [line for line in out.splitlines()
+                 if line.startswith("ora")]
+    assert len(data_rows) == 4          # 2 configs x 2 schedulers
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    assert manifest["jobs"] == 2
+    assert manifest["grid_points"] == 4
+
+
+def test_bench_jobs_env_default(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    assert main(["bench", "ora", "--configs", "base"]) == 0
+    out = capsys.readouterr().out
+    assert len([l for l in out.splitlines() if l.startswith("ora")]) == 2
 
 
 def test_compile_with_all_flags(tmp_path, capsys):

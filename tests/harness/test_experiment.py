@@ -36,6 +36,38 @@ def test_means():
     assert geometric_mean([]) == 0.0
 
 
+class TestGeometricMeanExtremes:
+    """Log-domain regression: raw products overflow/underflow."""
+
+    def test_no_overflow_on_large_magnitudes(self):
+        # 400 cycle-count-sized values: the raw product is ~1e3200,
+        # far beyond float range; the mean itself is ordinary.
+        values = [1e8] * 400
+        assert geometric_mean(values) == pytest.approx(1e8, rel=1e-9)
+
+    def test_no_underflow_on_tiny_magnitudes(self):
+        values = [1e-8] * 400
+        result = geometric_mean(values)
+        assert result == pytest.approx(1e-8, rel=1e-9)
+        assert result > 0.0
+
+    def test_mixed_extremes(self):
+        assert geometric_mean([1e300, 1e-300]) == pytest.approx(1.0)
+
+    def test_long_ratio_lists_stay_finite(self):
+        import math
+        values = [1.05] * 10_000
+        result = geometric_mean(values)
+        assert math.isfinite(result)
+        assert result == pytest.approx(1.05)
+
+    def test_non_positive_values_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0, 2.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+
 class TestRunnerCaching:
     def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_NO_CACHE", raising=False)

@@ -1,0 +1,108 @@
+"""Parallel sweep: process-pool fan-out equals the serial path, in
+deterministic grid order, and the run manifest records observability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.experiment import (
+    ExperimentRunner,
+    MANIFEST_NAME,
+    RunTiming,
+)
+
+GRID = dict(benchmarks=["ora", "alvinn"], schedulers=("balanced",),
+            configs=["base", "lu4"])
+
+
+@pytest.fixture(autouse=True)
+def _cache_on(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+
+
+def test_parallel_equals_serial(tmp_path):
+    serial = ExperimentRunner(cache_dir=tmp_path / "serial")
+    parallel = ExperimentRunner(cache_dir=tmp_path / "parallel", jobs=4)
+    expected = serial.sweep(**GRID)
+    got = parallel.sweep(**GRID)
+    assert got == expected
+    # Identical order too: benchmark-major, then scheduler, then config.
+    keys = [(r.benchmark, r.scheduler, r.config) for r in got]
+    assert keys == [(b, s, c) for b in GRID["benchmarks"]
+                    for s in GRID["schedulers"] for c in GRID["configs"]]
+
+
+def test_parallel_sweep_jobs_argument_overrides(tmp_path):
+    runner = ExperimentRunner(cache_dir=tmp_path)
+    results = runner.sweep(benchmarks=["ora"], schedulers=("balanced",),
+                           configs=["base", "lu4"], jobs=2)
+    assert len(results) == 2
+    assert all(r.benchmark == "ora" for r in results)
+
+
+def test_parallel_sweep_populates_memory_cache(tmp_path):
+    runner = ExperimentRunner(cache_dir=tmp_path, jobs=2)
+    (first, second) = runner.sweep(benchmarks=["ora"],
+                                   schedulers=("balanced",),
+                                   configs=["base", "lu4"])
+    # run() after a parallel sweep is a pure memory hit.
+    assert runner.run("ora", "balanced", "base") is first
+    assert runner.run("ora", "balanced", "lu4") is second
+
+
+def test_second_sweep_hits_disk_cache(tmp_path):
+    ExperimentRunner(cache_dir=tmp_path, jobs=2).sweep(**GRID)
+    rerun = ExperimentRunner(cache_dir=tmp_path)
+    results = rerun.sweep(**GRID)
+    assert all(rerun.timings[(r.benchmark, r.scheduler, r.config)].cached
+               for r in results)
+
+
+def test_manifest_records_phases_and_throughput(tmp_path):
+    runner = ExperimentRunner(cache_dir=tmp_path, jobs=2)
+    runner.sweep(benchmarks=["ora"], schedulers=("balanced",),
+                 configs=["base", "lu4"])
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    assert manifest["fingerprint"] == runner._fingerprint
+    assert manifest["grid_points"] == 2
+    assert manifest["executed"] == 2 and manifest["cached"] == 0
+    assert manifest["wall_seconds"] > 0
+    for entry in manifest["runs"]:
+        assert set(entry["phase_seconds"]) == {
+            "compile", "schedule", "regalloc", "simulate"}
+        assert all(value >= 0 for value in entry["phase_seconds"].values())
+        assert entry["instructions_per_second"] > 0
+        assert entry["simulated_instructions"] > 0
+        assert entry["total_cycles"] > 0
+
+
+def test_manifest_marks_cached_points(tmp_path):
+    grid = dict(benchmarks=["ora"], schedulers=("balanced",),
+                configs=["base"])
+    ExperimentRunner(cache_dir=tmp_path).sweep(**grid)
+    ExperimentRunner(cache_dir=tmp_path).sweep(**grid)
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    assert manifest["executed"] == 0 and manifest["cached"] == 1
+    assert manifest["runs"][0]["cached"] is True
+
+
+def test_no_cache_env_skips_disk_and_manifest(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    runner = ExperimentRunner(cache_dir=tmp_path, jobs=2)
+    results = runner.sweep(benchmarks=["ora"], schedulers=("balanced",),
+                           configs=["base", "lu4"])
+    assert len(results) == 2
+    assert not tmp_path.exists() or not list(tmp_path.iterdir())
+
+
+def test_run_timing_instructions_per_second():
+    timing = RunTiming(benchmark="ora", scheduler="balanced",
+                       config="base", cached=False,
+                       phase_seconds={"simulate": 2.0},
+                       simulated_instructions=1000)
+    assert timing.instructions_per_second == 500.0
+    assert RunTiming(benchmark="ora", scheduler="balanced",
+                     config="base", cached=True).instructions_per_second \
+        == 0.0

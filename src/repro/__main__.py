@@ -11,7 +11,9 @@ Commands:
 * ``workloads``      — list the 17 benchmarks.
 
 Common compiler flags: ``--scheduler {balanced,traditional,none}``,
-``--unroll {0,4,8}``, ``--trace``, ``--locality``, ``--issue-width N``.
+``--unroll {0,4,8}``, ``--trace``, ``--locality``, ``--swp``,
+``--issue-width N``.  ``bench``/``tables``/``report`` accept
+``--configs a,b,c`` (or ``REPRO_CONFIGS``) to restrict the grid.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from pathlib import Path
 from .harness import (
     ALL_TABLES,
     CONFIGS,
+    TABLE_CONFIGS,
     ExperimentRunner,
     Options,
     compile_source,
@@ -49,6 +52,35 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
              "(default: $REPRO_JOBS or 1; 0 = all cores)")
 
 
+def _add_configs_flag(parser: argparse.ArgumentParser,
+                      default_note: str) -> None:
+    parser.add_argument(
+        "--configs", nargs="*", metavar="NAME[,NAME...]",
+        help=f"grid configs, space- or comma-separated "
+             f"(default: $REPRO_CONFIGS or {default_note}); "
+             f"known: {', '.join(CONFIGS)}")
+
+
+def _resolve_configs(args: argparse.Namespace) -> list[str] | None:
+    """``--configs a,b c`` / ``REPRO_CONFIGS=a,b`` -> validated list."""
+    raw = args.configs
+    if raw is None:
+        env = os.environ.get("REPRO_CONFIGS", "").strip()
+        if not env:
+            return None
+        raw = [env]
+    names: list[str] = []
+    for token in raw:
+        names.extend(t for t in token.replace(",", " ").split() if t)
+    unknown = [n for n in names if n not in CONFIGS]
+    if unknown:
+        raise SystemExit(
+            f"unknown config(s): {', '.join(unknown)} "
+            f"(known: {', '.join(CONFIGS)})")
+    # Deduplicate, preserving order.
+    return list(dict.fromkeys(names)) or None
+
+
 def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scheduler", default="balanced",
                         choices=("balanced", "traditional", "none"))
@@ -56,6 +88,8 @@ def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
                         choices=(0, 4, 8))
     parser.add_argument("--trace", action="store_true")
     parser.add_argument("--locality", action="store_true")
+    parser.add_argument("--swp", action="store_true",
+                        help="software-pipeline eligible innermost loops")
     parser.add_argument("--issue-width", type=int, default=1)
 
 
@@ -65,7 +99,7 @@ def _options(args: argparse.Namespace) -> Options:
         config = replace(config, issue_width=args.issue_width)
     return Options(scheduler=args.scheduler, unroll=args.unroll,
                    trace=args.trace, locality=args.locality,
-                   config=config)
+                   swp=args.swp, config=config)
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -97,7 +131,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(verbose=True, jobs=_resolve_jobs(args.jobs))
     names = args.names or list(WORKLOAD_ORDER)
-    configs = args.configs or ["base", "lu4", "lu8"]
+    configs = _resolve_configs(args) or ["base", "lu4", "lu8"]
     # Fan the grid out first (parallel when --jobs > 1); printing below
     # then reads the warmed in-memory cache in deterministic order.
     runner.sweep(benchmarks=names, configs=configs)
@@ -121,8 +155,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_tables(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(verbose=True, jobs=_resolve_jobs(args.jobs))
     numbers = args.numbers or sorted(ALL_TABLES)
+    configs = _resolve_configs(args)
+    if configs is not None:
+        selected = set(configs)
+        kept = [n for n in numbers
+                if set(TABLE_CONFIGS[n]) <= selected]
+        skipped = [n for n in numbers if n not in kept]
+        if skipped:
+            print(f"skipping table(s) {skipped}: inputs outside "
+                  f"--configs {','.join(configs)}", file=sys.stderr)
+        numbers = kept
     if runner.jobs > 1 and any(n > 3 for n in numbers):
-        runner.sweep()          # warm the full grid across all cores
+        # Warm the grid across all cores (only the selected configs).
+        runner.sweep(configs=configs)
     for number in numbers:
         fn = ALL_TABLES[number]
         table = fn() if number <= 3 else fn(runner)
@@ -135,11 +180,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .harness.report import build_report, write_report
 
     runner = ExperimentRunner(verbose=True, jobs=_resolve_jobs(args.jobs))
+    configs = _resolve_configs(args)
     if args.output:
-        text = write_report(args.output, runner)
+        text = write_report(args.output, runner, configs=configs)
         print(f"report written to {args.output}", file=sys.stderr)
     else:
-        text = build_report(runner)
+        text = build_report(runner, configs=configs)
     print(text)
     return 0
 
@@ -176,20 +222,21 @@ def main(argv: list[str] | None = None) -> int:
     p_bench = sub.add_parser("bench", help="run workload benchmarks")
     p_bench.add_argument("names", nargs="*",
                          help="benchmark names (default: all)")
-    p_bench.add_argument("--configs", nargs="*", choices=list(CONFIGS),
-                         help="grid configs (default: base lu4 lu8)")
+    _add_configs_flag(p_bench, "base lu4 lu8")
     _add_jobs_flag(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
     p_tables.add_argument("numbers", nargs="*", type=int,
                           choices=sorted(ALL_TABLES))
+    _add_configs_flag(p_tables, "all")
     _add_jobs_flag(p_tables)
     p_tables.set_defaults(fn=cmd_tables)
 
     p_report = sub.add_parser("report",
                               help="paper-vs-measured markdown report")
     p_report.add_argument("--output", "-o", default=None)
+    _add_configs_flag(p_report, "all")
     _add_jobs_flag(p_report)
     p_report.set_defaults(fn=cmd_report)
 

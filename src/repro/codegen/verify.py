@@ -77,6 +77,80 @@ def verify_program(program: MachineProgram,
         raise VerificationError("program has no HALT")
 
 
+def verify_pipelined_kernels(cfg, kernels) -> None:
+    """Check cross-iteration dependences inside software-pipelined kernels.
+
+    For each :class:`~repro.sched.modulo.KernelInfo`, the kernel block
+    (still in virtual registers, before allocation rewrites the
+    instructions) is replayed *twice* back to back -- the steady state
+    of the modulo schedule, covering every wrap-around of the modulo
+    reservation table:
+
+    * every register operand whose producer lives in the loop body must
+      read its value from exactly the instance modulo variable
+      expansion predicted (no version is clobbered early and no stale
+      version survives);
+    * conflicting memory accesses must issue in iteration order:
+      instances are tagged with ``(iteration offset, original body
+      position)`` and any conflicting pair must appear in increasing
+      tag order.
+    """
+    for info in kernels:
+        block = cfg.blocks.get(info.kernel_label)
+        if block is None:
+            raise VerificationError(
+                f"pipelined kernel block {info.kernel_label} missing")
+        _verify_kernel_stream(block.instrs, info)
+
+
+def _verify_kernel_stream(instrs, info) -> None:
+    last_writer: dict = {}
+    mem_seen: list = []     # ((iteration, body position), Instruction)
+    for copy in range(2):
+        for instr in instrs:
+            where = (f"kernel {info.kernel_label}, copy {copy}: "
+                     f"{instr.format()}")
+            for reg in instr.uses():
+                expected = info.expected_writer.get((instr.uid, str(reg)))
+                if expected is None:
+                    continue
+                actual = last_writer.get(reg)
+                if actual is not None and actual != expected:
+                    raise VerificationError(
+                        f"cross-iteration register dependence broken: "
+                        f"{reg} written by unexpected instance {where}")
+            tag = info.mem_tags.get(instr.uid)
+            if tag is not None:
+                key = (tag[0] + copy * info.unroll, tag[1])
+                for other_key, other in mem_seen:
+                    if other_key <= key:
+                        continue
+                    if instr.is_load and other.is_load:
+                        continue
+                    same_iter = other_key[0] == key[0]
+                    if _kernel_mem_conflict(instr, other, same_iter):
+                        raise VerificationError(
+                            f"cross-iteration memory dependence broken: "
+                            f"conflicts with later iteration's "
+                            f"{other.format()} {where}")
+                mem_seen.append((key, instr))
+            for reg in instr.defs():
+                last_writer[reg] = instr.uid
+
+
+def _kernel_mem_conflict(a, b, same_iter: bool) -> bool:
+    """Mirror of the scheduler's aliasing rules: within one iteration
+    the affine-subscript refinement applies (the induction value is
+    fixed, so provably-distinct subscripts cannot collide); across
+    iterations only region+symbol disambiguation is sound."""
+    if a.mem is None or b.mem is None:
+        return True
+    if same_iter:
+        return a.mem.conflicts_with(b.mem)
+    return (a.mem.region == b.mem.region
+            and a.mem.symbol == b.mem.symbol)
+
+
 def _is_scratch(reg) -> bool:
     return reg.num in _SCRATCH_NUMS.get(reg.kind, ())
 

@@ -21,6 +21,7 @@ from .experiment import (
 from .report import build_report, write_report
 from .tables import (
     ALL_TABLES,
+    TABLE_CONFIGS,
     Table,
     format_table,
     generate_all,
@@ -33,6 +34,7 @@ from .tables import (
     table7,
     table8,
     table9,
+    table10,
 )
 
 __all__ = [
@@ -41,7 +43,8 @@ __all__ = [
     "CONFIGS", "SCHEDULERS", "ExperimentRunner", "RunResult",
     "RunTiming", "arithmetic_mean", "geometric_mean", "options_for",
     "build_report", "write_report",
-    "ALL_TABLES", "Table", "format_table", "generate_all",
+    "ALL_TABLES", "TABLE_CONFIGS", "Table", "format_table",
+    "generate_all",
     "table1", "table2", "table3", "table4", "table5", "table6",
-    "table7", "table8", "table9",
+    "table7", "table8", "table9", "table10",
 ]

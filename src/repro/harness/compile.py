@@ -27,7 +27,7 @@ from typing import Optional
 from ..analysis.locality import LocalityStats, analyze_locality
 from ..codegen.lower import lower
 from ..codegen.regalloc import AllocationResult, allocate_registers
-from ..codegen.verify import verify_program
+from ..codegen.verify import verify_pipelined_kernels, verify_program
 from ..frontend import frontend, parse, analyze
 from ..ir import Cfg
 from ..isa import MachineProgram
@@ -39,9 +39,11 @@ from ..opt.predication import predicate_program
 from ..opt.unroll import UnrollStats, unroll_program
 from ..sched import (
     BalancedWeights,
+    ModuloStats,
     ProfileData,
     TraditionalWeights,
     WeightModel,
+    pipeline_loops,
     schedule_cfg,
     trace_schedule,
 )
@@ -63,12 +65,18 @@ class Options:
     #: Off by default: the paper-calibrated results are measured
     #: without them; see benchmarks/test_ablation_extra_opts.py.
     extra_opts: bool = False
+    #: Software pipelining: modulo-schedule eligible innermost loops
+    #: after list/trace scheduling (the fourth ILP axis).
+    swp: bool = False
     config: MachineConfig = field(default=DEFAULT_CONFIG)
     # Ablation knobs for the balanced weight computation.
     balanced_component_sharing: bool = True
     balanced_cap: Optional[float] = None
 
     def label(self) -> str:
+        """Unambiguous config label: every knob that changes generated
+        code contributes a token (cache keys and manifests rely on
+        this)."""
         parts = [self.scheduler]
         if self.locality:
             parts.append("la")
@@ -76,6 +84,12 @@ class Options:
             parts.append(f"lu{self.unroll}")
         if self.trace:
             parts.append("trs")
+        if self.swp:
+            parts.append("swp")
+        if not self.predicate:
+            parts.append("nopred")
+        if self.extra_opts:
+            parts.append("xopts")
         return "+".join(parts)
 
     def validate(self) -> None:
@@ -83,6 +97,9 @@ class Options:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.unroll not in (0, 4, 8):
             raise ValueError(f"unsupported unroll factor {self.unroll}")
+        if self.swp and self.scheduler == "none":
+            raise ValueError("swp requires a scheduler "
+                             "(balanced or traditional)")
 
 
 @dataclass
@@ -95,6 +112,8 @@ class CompileResult:
     locality_stats: Optional[LocalityStats] = None
     trace_stats: Optional[object] = None
     profile: Optional[ProfileData] = None
+    #: Per-loop software-pipelining outcomes (None when swp is off).
+    modulo_stats: Optional[ModuloStats] = None
     #: Wall-clock seconds per pipeline phase: ``compile`` (frontend +
     #: AST transforms + lowering + cleanups), ``schedule``, ``regalloc``.
     phase_seconds: dict[str, float] = field(default_factory=dict)
@@ -155,6 +174,14 @@ def compile_source(source: str, options: Options = Options(),
         trace_stats = trace_schedule(cfg, profile, model)
     elif model is not None:
         schedule_cfg(cfg, model)
+    modulo_stats = None
+    if options.swp:
+        # Software pipelining runs over the already-scheduled CFG: the
+        # non-kernel blocks keep their balanced/traditional list
+        # schedules, and the modulo scheduler reuses the same weight
+        # model for its dependence latencies.
+        modulo_stats = pipeline_loops(cfg, options.config, model)
+        verify_pipelined_kernels(cfg, modulo_stats.kernels)
     schedule_done = time.perf_counter()
 
     allocation = allocate_registers(cfg)
@@ -170,6 +197,7 @@ def compile_source(source: str, options: Options = Options(),
                          allocation=allocation, unroll_stats=unroll_stats,
                          locality_stats=locality_stats,
                          trace_stats=trace_stats, profile=profile,
+                         modulo_stats=modulo_stats,
                          phase_seconds=phase_seconds)
 
 

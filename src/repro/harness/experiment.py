@@ -53,6 +53,8 @@ CONFIGS: dict[str, dict] = {
     "la+lu8": {"locality": True, "unroll": 8},
     "la+trs4": {"locality": True, "unroll": 4, "trace": True},
     "la+trs8": {"locality": True, "unroll": 8, "trace": True},
+    "swp": {"swp": True},
+    "la+swp": {"locality": True, "swp": True},
 }
 
 SCHEDULERS = ("balanced", "traditional")
@@ -89,6 +91,15 @@ class RunResult:
     branch_mispredicts: int
     static_instructions: int
     spill_slots: int
+    #: Software-pipelining outcome (all zero/empty when swp is off).
+    #: ``swp_loops`` keeps the per-loop detail (one
+    #: :meth:`~repro.sched.modulo.LoopPipelineStats.to_json` dict per
+    #: candidate loop) so reports can audit II against MII from cache.
+    swp_attempted: int = 0
+    swp_pipelined: int = 0
+    swp_mean_ii_over_mii: float = 0.0
+    swp_max_ii_over_mii: float = 0.0
+    swp_loops: list = field(default_factory=list)
 
     @property
     def load_interlock_fraction(self) -> float:
@@ -111,6 +122,9 @@ class RunTiming:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     total_seconds: float = 0.0
     simulated_instructions: int = 0
+    #: Full software-pipelining record (ModuloStats.to_json()) for
+    #: executed points of swp configurations; None otherwise.
+    modulo: Optional[dict] = None
 
     @property
     def instructions_per_second(self) -> float:
@@ -204,10 +218,19 @@ def _execute_grid_point(workload: Workload, scheduler: str,
         branch_mispredicts=metrics.branch_mispredicts,
         static_instructions=len(compiled.program),
         spill_slots=compiled.allocation.n_slots)
+    modulo = None
+    if compiled.modulo_stats is not None:
+        ms = compiled.modulo_stats
+        result.swp_attempted = ms.attempted
+        result.swp_pipelined = ms.pipelined
+        result.swp_mean_ii_over_mii = ms.mean_ii_over_mii or 0.0
+        result.swp_max_ii_over_mii = ms.max_ii_over_mii or 0.0
+        result.swp_loops = [s.to_json() for s in ms.loops]
+        modulo = ms.to_json()
     timing = RunTiming(
         benchmark=workload.name, scheduler=scheduler, config=config,
         cached=False, phase_seconds=phases, total_seconds=total_seconds,
-        simulated_instructions=metrics.instructions)
+        simulated_instructions=metrics.instructions, modulo=modulo)
     return result, timing
 
 
@@ -404,6 +427,7 @@ class ExperimentRunner:
             entry["total_cycles"] = result.total_cycles
             runs.append(entry)
         executed = [r for r in runs if not r["cached"]]
+        modulo = self._modulo_aggregates(grid)
         payload = {
             "version": 1,
             "fingerprint": self._fingerprint,
@@ -416,7 +440,38 @@ class ExperimentRunner:
                 r["simulated_instructions"] for r in executed),
             "runs": runs,
         }
+        if modulo:
+            payload["modulo"] = modulo
         _atomic_write_json(self.manifest_path, payload)
+
+    def _modulo_aggregates(self, grid: list[tuple[str, str, str]]) -> dict:
+        """Per-(scheduler, config) software-pipelining aggregates.
+
+        Built from the (cache-surviving) :class:`RunResult` fields, so
+        a fully-cached sweep still reports them."""
+        groups: dict[str, list[RunResult]] = {}
+        for key in dict.fromkeys(grid):
+            result = self._memory.get(key)
+            if result is None or not result.swp_attempted:
+                continue
+            groups.setdefault(f"{key[1]}/{key[2]}", []).append(result)
+        out: dict[str, dict] = {}
+        for name, results in sorted(groups.items()):
+            ratios = [r.swp_max_ii_over_mii for r in results
+                      if r.swp_pipelined]
+            means = [r.swp_mean_ii_over_mii for r in results
+                     if r.swp_pipelined]
+            entry = {
+                "benchmarks": len(results),
+                "loops_attempted": sum(r.swp_attempted for r in results),
+                "loops_pipelined": sum(r.swp_pipelined for r in results),
+            }
+            if ratios:
+                entry["max_ii_over_mii"] = round(max(ratios), 4)
+                entry["mean_ii_over_mii"] = round(
+                    sum(means) / len(means), 4)
+            out[name] = entry
+        return out
 
 
 def geometric_mean(values: list[float]) -> float:

@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from ..workloads.programs import WORKLOAD_ORDER
-from .experiment import ExperimentRunner, arithmetic_mean
+from .experiment import ExperimentRunner, arithmetic_mean, geometric_mean
 
 
 @dataclass(frozen=True)
@@ -28,6 +28,9 @@ class Metric:
     #: comparisons use wide bands on purpose.
     tolerance: float = 0.15
     note: str = ""
+    #: Grid configs the measure touches; used by ``--configs``
+    #: filtering to skip metrics whose data was excluded.
+    configs: tuple[str, ...] = ("base",)
 
 
 def _avg_speedup(scheduler_a: str, config_a: str, scheduler_b: str,
@@ -59,41 +62,132 @@ HEADLINE_METRICS: tuple[Metric, ...] = (
     Metric("BS vs TS, no optimizations", 1.05,
            _avg_speedup("traditional", "base", "balanced", "base")),
     Metric("BS vs TS, LU4", 1.12,
-           _avg_speedup("traditional", "lu4", "balanced", "lu4")),
+           _avg_speedup("traditional", "lu4", "balanced", "lu4"),
+           configs=("lu4",)),
     Metric("BS vs TS, LU8", 1.18,
-           _avg_speedup("traditional", "lu8", "balanced", "lu8")),
+           _avg_speedup("traditional", "lu8", "balanced", "lu8"),
+           configs=("lu8",)),
     Metric("BS vs TS, TrS+LU4", 1.14,
-           _avg_speedup("traditional", "trs4", "balanced", "trs4")),
+           _avg_speedup("traditional", "trs4", "balanced", "trs4"),
+           configs=("trs4",)),
     Metric("BS vs TS, TrS+LU8", 1.16,
-           _avg_speedup("traditional", "trs8", "balanced", "trs8")),
+           _avg_speedup("traditional", "trs8", "balanced", "trs8"),
+           configs=("trs8",)),
     Metric("BS speedup from LU4", 1.19,
            _avg_speedup("balanced", "base", "balanced", "lu4"),
            tolerance=0.30,
            note="synthetic kernels are more loop-dominated than the "
-                "originals"),
+                "originals",
+           configs=("base", "lu4")),
     Metric("BS speedup from LU8", 1.28,
            _avg_speedup("balanced", "base", "balanced", "lu8"),
-           tolerance=0.30),
+           tolerance=0.30, configs=("base", "lu8")),
     Metric("BS speedup from locality analysis", 1.15,
            _avg_speedup("balanced", "base", "balanced", "la"),
-           tolerance=0.20),
+           tolerance=0.20, configs=("base", "la")),
     Metric("BS speedup from LA+TrS+LU8 (best)", 1.40,
            _avg_speedup("balanced", "base", "balanced", "la+trs8"),
-           tolerance=0.20),
+           tolerance=0.20, configs=("base", "la+trs8")),
     Metric("load-interlock share of cycles, BS", 0.07,
            _avg_load_fraction("balanced", "base"), tolerance=0.05),
     Metric("load-interlock share of cycles, TS", 0.15,
            _avg_load_fraction("traditional", "base"), tolerance=0.06),
 )
 
+#: Speedup threshold that puts a benchmark in the "unroll-friendly"
+#: subset: balanced LU4 beats balanced base by at least this factor
+#: (loop-dominated programs where exposing more ILP pays off).
+UNROLL_FRIENDLY_SPEEDUP = 1.05
 
-def build_report(runner: Optional[ExperimentRunner] = None) -> str:
-    """Render the comparison as a markdown table."""
+
+def unroll_friendly_benchmarks(runner: ExperimentRunner) -> list[str]:
+    """Benchmarks whose balanced LU4 speedup clears the threshold."""
+    subset = []
+    for name in WORKLOAD_ORDER:
+        base = runner.run(name, "balanced", "base")
+        lu4 = runner.run(name, "balanced", "lu4")
+        if base.total_cycles / lu4.total_cycles >= UNROLL_FRIENDLY_SPEEDUP:
+            subset.append(name)
+    return subset
+
+
+def swp_section(runner: ExperimentRunner) -> list[str]:
+    """Software-pipelining results: the II audit and the geomean gain.
+
+    Two promises are checked here: every pipelined loop achieved an
+    initiation interval within 2x its lower bound (the scheduler's
+    contract), and ``swp`` delivers a geomean cycle improvement over
+    ``base`` on the unroll-friendly subset of the workload.
+    """
+    lines = ["", "## Software pipelining (beyond the paper)", ""]
+    audited = 0
+    worst: Optional[tuple[str, str, dict]] = None
+    violations = []
+    for name in WORKLOAD_ORDER:
+        for scheduler in ("balanced", "traditional"):
+            for config in ("swp", "la+swp"):
+                result = runner.run(name, scheduler, config)
+                for loop in result.swp_loops:
+                    if not loop["pipelined"]:
+                        continue
+                    audited += 1
+                    if loop["ii"] > 2 * loop["mii"]:
+                        violations.append((name, scheduler, config, loop))
+                    if (worst is None
+                            or loop["ii"] * worst[2]["mii"]
+                            > worst[2]["ii"] * loop["mii"]):
+                        worst = (name, scheduler, loop)
+    if violations:
+        lines.append(f"**{len(violations)} pipelined loops exceed "
+                     "II <= 2*MII — scheduler contract broken.**")
+    else:
+        detail = ""
+        if worst is not None:
+            ratio = worst[2]["ii"] / worst[2]["mii"]
+            detail = (f" (worst II/MII = {ratio:.2f}, "
+                      f"loop `{worst[2]['label']}` in {worst[0]}, "
+                      f"{worst[1]})")
+        lines.append(f"All {audited} pipelined loops achieved "
+                     f"II <= 2*MII{detail}.")
+    lines.append("")
+
+    subset = unroll_friendly_benchmarks(runner)
+    ratios = []
+    for name in subset:
+        base = runner.run(name, "balanced", "base")
+        swp = runner.run(name, "balanced", "swp")
+        ratios.append(base.total_cycles / swp.total_cycles)
+    if ratios:
+        geomean = geometric_mean(ratios)
+        lines.append(
+            f"Geomean speedup of `swp` over `base` (balanced) on the "
+            f"unroll-friendly subset ({len(subset)} benchmarks with "
+            f"LU4 speedup >= {UNROLL_FRIENDLY_SPEEDUP:.2f}): "
+            f"**{geomean:.3f}**.")
+    return lines
+
+
+#: Configs the software-pipelining section needs.
+_SWP_SECTION_CONFIGS = frozenset(("base", "lu4", "swp", "la+swp"))
+
+
+def build_report(runner: Optional[ExperimentRunner] = None,
+                 configs: Optional[list[str]] = None) -> str:
+    """Render the comparison as a markdown table.
+
+    *configs* restricts the report to metrics whose grid configs are
+    all included (``--configs``/``REPRO_CONFIGS``); the default is the
+    full report.
+    """
     runner = runner or ExperimentRunner()
+    selected = None if configs is None else set(configs)
+    metrics = [m for m in HEADLINE_METRICS
+               if selected is None or set(m.configs) <= selected]
+    want_swp = selected is None or _SWP_SECTION_CONFIGS <= selected
     if getattr(runner, "jobs", 1) > 1:
         # The headline metrics walk the grid serially; warm the cache
         # across all worker processes first.
-        runner.sweep()
+        runner.sweep(configs=configs)
     lines = [
         "# Reproduction report",
         "",
@@ -106,7 +200,7 @@ def build_report(runner: Optional[ExperimentRunner] = None) -> str:
         "|---|---|---|---|",
     ]
     matches = 0
-    for metric in HEADLINE_METRICS:
+    for metric in metrics:
         value = metric.measure(runner)
         close = abs(value - metric.paper) <= metric.tolerance
         matches += close
@@ -116,13 +210,16 @@ def build_report(runner: Optional[ExperimentRunner] = None) -> str:
         lines.append(f"| {metric.name} | {metric.paper:.2f} | "
                      f"{value:.2f} | {verdict} |")
     lines.append("")
-    lines.append(f"**{matches}/{len(HEADLINE_METRICS)}** headline "
+    lines.append(f"**{matches}/{len(metrics)}** headline "
                  "metrics within tolerance.")
+    if want_swp:
+        lines.extend(swp_section(runner))
     return "\n".join(lines)
 
 
 def write_report(path: str | Path,
-                 runner: Optional[ExperimentRunner] = None) -> str:
-    text = build_report(runner)
+                 runner: Optional[ExperimentRunner] = None,
+                 configs: Optional[list[str]] = None) -> str:
+    text = build_report(runner, configs=configs)
     Path(path).write_text(text + "\n")
     return text

@@ -7,6 +7,10 @@ conventions: Table 4 and 6 are relative to balanced scheduling under
 fewer optimizations; Tables 5, 7 and 8 compare balanced against
 traditional scheduling under the *same* optimizations; averages are
 arithmetic means over the workload, as in the paper.
+
+Table 10 goes beyond the paper: it evaluates software pipelining
+(iterative modulo scheduling) as a fourth ILP axis under both weight
+models, in the same speedup conventions.
 """
 
 from __future__ import annotations
@@ -318,6 +322,44 @@ def table9(runner: ExperimentRunner,
     return table
 
 
+# ------------------------------------------------------------ Table 10
+def table10(runner: ExperimentRunner,
+            benchmarks: Optional[list[str]] = None) -> Table:
+    """Software pipelining as a fourth ILP axis (beyond the paper)."""
+    table = Table(
+        10,
+        "Software pipelining (SWP): total cycles speedup over the same "
+        "scheduler without SWP, balanced vs. traditional, plus loops "
+        "pipelined and the achieved initiation interval over its lower "
+        "bound (balanced scheduler).",
+        ["Benchmark", "BS SWP", "BS LA+SWP", "TS SWP",
+         "Loops piped", "max II/MII"])
+    bs_swp, bs_laswp, ts_swp = [], [], []
+    for name in _benchmarks(benchmarks):
+        bs_base = runner.run(name, "balanced", "base")
+        bs_la = runner.run(name, "balanced", "la")
+        ts_base = runner.run(name, "traditional", "base")
+        swp = runner.run(name, "balanced", "swp")
+        laswp = runner.run(name, "balanced", "la+swp")
+        tswp = runner.run(name, "traditional", "swp")
+        s_bs = bs_base.total_cycles / swp.total_cycles
+        s_la = bs_la.total_cycles / laswp.total_cycles
+        s_ts = ts_base.total_cycles / tswp.total_cycles
+        bs_swp.append(s_bs)
+        bs_laswp.append(s_la)
+        ts_swp.append(s_ts)
+        ratio = (_fmt(swp.swp_max_ii_over_mii)
+                 if swp.swp_pipelined else "----")
+        table.rows.append([
+            name, _fmt(s_bs), _fmt(s_la), _fmt(s_ts),
+            f"{swp.swp_pipelined}/{swp.swp_attempted}", ratio])
+    table.rows.append([
+        "AVERAGE", _fmt(arithmetic_mean(bs_swp)),
+        _fmt(arithmetic_mean(bs_laswp)), _fmt(arithmetic_mean(ts_swp)),
+        "", ""])
+    return table
+
+
 ALL_TABLES = {
     1: lambda runner=None, benchmarks=None: table1(),
     2: lambda runner=None, benchmarks=None: table2(),
@@ -328,6 +370,20 @@ ALL_TABLES = {
     7: table7,
     8: table8,
     9: table9,
+    10: table10,
+}
+
+#: Grid configs each table reads; ``--configs`` filtering generates
+#: only the tables whose inputs are all selected.
+TABLE_CONFIGS: dict[int, tuple[str, ...]] = {
+    1: (), 2: (), 3: (),
+    4: ("base", "lu4", "lu8"),
+    5: ("base", "lu4", "lu8"),
+    6: ("base",) + TABLE6_CONFIGS,
+    7: TABLE7_CONFIGS,
+    8: ("base", "lu4", "lu8", "trs4", "trs8"),
+    9: ("base", "la", "la+lu4", "la+lu8", "la+trs4", "la+trs8"),
+    10: ("base", "la", "swp", "la+swp"),
 }
 
 

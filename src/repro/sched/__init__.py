@@ -7,6 +7,7 @@ from .list_scheduler import (
     list_schedule_with_weights,
     priorities,
 )
+from .modulo import KernelInfo, LoopPipelineStats, ModuloStats, pipeline_loops
 from .trace import ProfileData, TraceStats, form_traces, trace_schedule
 from .weights import BalancedWeights, TraditionalWeights, WeightModel
 
@@ -16,4 +17,5 @@ __all__ = [
     "priorities",
     "ProfileData", "TraceStats", "form_traces", "trace_schedule",
     "BalancedWeights", "TraditionalWeights", "WeightModel",
+    "pipeline_loops", "ModuloStats", "LoopPipelineStats", "KernelInfo",
 ]

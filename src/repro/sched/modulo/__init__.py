@@ -1,0 +1,45 @@
+"""Software pipelining by iterative modulo scheduling (the `swp` axis).
+
+The paper's thesis is that balanced scheduling's advantage grows with
+the instruction-level parallelism other compiler phases expose.  This
+package adds the canonical ILP-increasing loop transformation the paper
+did not evaluate: software pipelining of innermost single-block loops,
+in the iterative-modulo-scheduling formulation (Rau, MICRO 1994; see
+also Roorda's SMT formulation in PAPERS.md for the optimal variant this
+heuristic approximates).
+
+Submodules:
+
+* :mod:`.deps`      -- candidate-loop shape matching and the cyclic
+  dependence graph (intra-iteration DAG edges + loop-carried register
+  and memory dependences, each with a latency and an iteration
+  distance);
+* :mod:`.mii`       -- lower bounds on the initiation interval: ResMII
+  from :class:`~repro.machine.MachineConfig` resource counts, RecMII
+  from dependence cycles;
+* :mod:`.scheduler` -- the iterative scheduler with a modulo
+  reservation table and budgeted backtracking (eviction);
+* :mod:`.kernel`    -- kernel construction with modulo variable
+  expansion, prologue/epilogue/remainder emission, and the dispatch
+  code that falls back to the original loop for short trip counts;
+* :mod:`.pipeline`  -- the CFG-level driver, bail-out policy and
+  per-loop statistics.
+
+The result of the transformation is a plain scheduled CFG: the existing
+register allocator, linearizer, verifier and simulator consume it
+unchanged.
+"""
+
+from .pipeline import (
+    MAX_BODY_OPS,
+    MAX_STAGES,
+    MAX_UNROLL,
+    pipeline_loops,
+)
+from .stats import KernelInfo, LoopPipelineStats, ModuloStats
+
+__all__ = [
+    "pipeline_loops",
+    "ModuloStats", "LoopPipelineStats", "KernelInfo",
+    "MAX_BODY_OPS", "MAX_STAGES", "MAX_UNROLL",
+]

@@ -1,0 +1,84 @@
+"""Lower bounds on the initiation interval.
+
+``MII = max(ResMII, RecMII)`` (Rau's formulation):
+
+* **ResMII** -- resource-constrained bound from the machine's issue
+  width and memory ports: with N operations per iteration and M memory
+  operations, no schedule can initiate iterations faster than
+  ``max(ceil(N / issue_width), ceil(M / mem_ports))``.
+* **RecMII** -- recurrence-constrained bound: for every dependence
+  cycle C, ``II >= sum(latency) / sum(distance)`` over C.  Computed by
+  binary search on II with a Bellman-Ford-style positive-cycle test on
+  edge weights ``latency - distance * II`` (a positive cycle means the
+  candidate II is infeasible).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...machine import MachineConfig
+from .deps import DepEdge, LoopDeps
+
+
+def res_mii(deps: LoopDeps, config: MachineConfig) -> int:
+    n = len(deps.ops)
+    if n == 0:
+        return 1
+    n_mem = sum(1 for ins in deps.ops if ins.is_mem)
+    bound = math.ceil(n / max(1, config.issue_width))
+    if n_mem:
+        bound = max(bound, math.ceil(n_mem / max(1, config.mem_ports)))
+    return max(1, bound)
+
+
+def _has_positive_cycle(n: int, edges: list[DepEdge], ii: int) -> bool:
+    """Longest-path relaxation; True when some cycle has positive weight.
+
+    Edge weight is ``latency - distance * ii``; a positive-weight cycle
+    means the recurrence cannot be satisfied at this ii.
+    """
+    dist = [0] * n
+    for _ in range(n):
+        changed = False
+        for e in edges:
+            w = e.latency - e.distance * ii
+            if dist[e.src] + w > dist[e.dst]:
+                dist[e.dst] = dist[e.src] + w
+                changed = True
+        if not changed:
+            return False
+    # Still relaxing after n passes: a positive cycle exists.
+    for e in edges:
+        w = e.latency - e.distance * ii
+        if dist[e.src] + w > dist[e.dst]:
+            return True
+    return False
+
+
+def rec_mii(deps: LoopDeps) -> int:
+    """Smallest II admitting no positive-weight dependence cycle."""
+    n = len(deps.ops)
+    if n == 0 or not any(e.distance for e in deps.edges):
+        return 1
+    # Any cycle contains at least one distance-1 edge, so II is bounded
+    # above by the total latency of the graph.
+    hi = max(1, sum(e.latency for e in deps.edges))
+    lo = 1
+    if not _has_positive_cycle(n, deps.edges, lo):
+        return 1
+    # Invariant: lo infeasible, hi feasible.
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _has_positive_cycle(n, deps.edges, mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def compute_mii(deps: LoopDeps, config: MachineConfig) -> tuple[int, int, int]:
+    """Return ``(res_mii, rec_mii, mii)``."""
+    res = res_mii(deps, config)
+    rec = rec_mii(deps)
+    return res, rec, max(res, rec)

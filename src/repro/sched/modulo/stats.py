@@ -1,0 +1,148 @@
+"""Per-loop and per-compilation statistics for modulo scheduling.
+
+The driver records one :class:`LoopPipelineStats` per candidate loop —
+pipelined or bailed, with the II bounds — and :class:`ModuloStats`
+aggregates them for the run manifest and the report tables.
+:class:`KernelInfo` carries the metadata the extended verifier needs to
+re-check cross-iteration dependences inside an emitted kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Bail-out reason codes (stable strings; surfaced in manifests).
+REASON_NOT_INNERMOST = "not-single-block"
+REASON_SHAPE = "shape"
+REASON_TOO_BIG = "too-big"
+REASON_TOO_SMALL = "too-small"
+REASON_NO_II = "no-ii"
+REASON_NO_OVERLAP = "no-overlap"
+REASON_STAGES = "stages"
+REASON_UNROLL = "unroll"
+REASON_PRESSURE = "pressure"
+REASON_CMOV_CARRIED = "cmov-carried"
+
+
+@dataclass
+class LoopPipelineStats:
+    """What happened to one candidate loop."""
+
+    label: str
+    pipelined: bool
+    reason: str = ""                  # bail-out code when not pipelined
+    n_ops: int = 0                    # body size fed to the scheduler
+    res_mii: int = 0
+    rec_mii: int = 0
+    mii: int = 0
+    ii: int = 0                       # achieved initiation interval
+    stages: int = 0                   # SC: pipeline depth in stages
+    unroll: int = 0                   # KU: kernel unroll from MVE
+
+    @property
+    def ii_over_mii(self) -> float:
+        if not self.pipelined or not self.mii:
+            return 0.0
+        return self.ii / self.mii
+
+    def to_json(self) -> dict:
+        return {
+            "label": self.label,
+            "pipelined": self.pipelined,
+            "reason": self.reason,
+            "n_ops": self.n_ops,
+            "res_mii": self.res_mii,
+            "rec_mii": self.rec_mii,
+            "mii": self.mii,
+            "ii": self.ii,
+            "stages": self.stages,
+            "unroll": self.unroll,
+        }
+
+
+@dataclass
+class KernelInfo:
+    """Verification metadata for one emitted kernel block.
+
+    All references are by instruction ``uid`` (instruction objects are
+    shared between the CFG and the linearized program, so uids assigned
+    at emission time remain valid until register allocation rewrites
+    the instructions).
+    """
+
+    loop_label: str
+    kernel_label: str
+    ii: int
+    stages: int
+    unroll: int
+    #: uid -> (iteration offset, original body position) for memory
+    #: instructions in the kernel; offsets are relative within one
+    #: kernel execution (copy r of stage s has offset r - s).
+    mem_tags: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: (consumer uid, register repr) -> producer uid for register
+    #: operands whose producer lives in the loop body; the verifier
+    #: checks the producer is the last writer in a doubled kernel
+    #: stream.
+    expected_writer: dict[tuple[int, str], int] = field(
+        default_factory=dict)
+
+
+@dataclass
+class ModuloStats:
+    """All candidate loops of one compilation."""
+
+    loops: list[LoopPipelineStats] = field(default_factory=list)
+    #: Verification metadata; not serialized into manifests.
+    kernels: list[KernelInfo] = field(default_factory=list)
+
+    @property
+    def attempted(self) -> int:
+        return len(self.loops)
+
+    @property
+    def pipelined(self) -> int:
+        return sum(1 for s in self.loops if s.pipelined)
+
+    @property
+    def bailed(self) -> int:
+        return self.attempted - self.pipelined
+
+    @property
+    def mean_ii_over_mii(self) -> Optional[float]:
+        ratios = [s.ii_over_mii for s in self.loops if s.pipelined]
+        if not ratios:
+            return None
+        return sum(ratios) / len(ratios)
+
+    @property
+    def max_ii_over_mii(self) -> Optional[float]:
+        ratios = [s.ii_over_mii for s in self.loops if s.pipelined]
+        if not ratios:
+            return None
+        return max(ratios)
+
+    def reason_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for s in self.loops:
+            if not s.pipelined:
+                counts[s.reason] = counts.get(s.reason, 0) + 1
+        return counts
+
+    def summary(self) -> dict:
+        """Compact aggregate for the run manifest."""
+        out = {
+            "attempted": self.attempted,
+            "pipelined": self.pipelined,
+            "bailed": self.bailed,
+            "reasons": self.reason_counts(),
+        }
+        if self.mean_ii_over_mii is not None:
+            out["mean_ii_over_mii"] = round(self.mean_ii_over_mii, 4)
+            out["max_ii_over_mii"] = round(self.max_ii_over_mii, 4)
+        return out
+
+    def to_json(self) -> dict:
+        data = self.summary()
+        data["loops"] = [s.to_json() for s in self.loops]
+        return data

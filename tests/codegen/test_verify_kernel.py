@@ -1,0 +1,71 @@
+"""Cross-iteration kernel checks in verify_pipelined_kernels."""
+
+import pytest
+
+from repro.codegen.verify import VerificationError, verify_pipelined_kernels
+from repro.harness.compile import Options, compile_source
+from repro.machine import DEFAULT_CONFIG
+from repro.sched.modulo import pipeline_loops
+
+from tests.sched.test_modulo import DAXPY, _scheduled_cfg
+
+
+def _pipelined(source, **kw):
+    from repro.harness.compile import make_weight_model
+
+    cfg, model, opts = _scheduled_cfg(source, **kw)
+    stats = pipeline_loops(cfg, opts.config, model)
+    assert stats.pipelined >= 1
+    return cfg, stats
+
+
+def test_clean_kernel_passes():
+    cfg, stats = _pipelined(DAXPY)
+    verify_pipelined_kernels(cfg, stats.kernels)
+
+
+def test_missing_kernel_block_detected():
+    cfg, stats = _pipelined(DAXPY)
+    stats.kernels[0].kernel_label = ".nonexistent"
+    with pytest.raises(VerificationError, match="missing"):
+        verify_pipelined_kernels(cfg, stats.kernels)
+
+
+def test_broken_register_versioning_detected():
+    cfg, stats = _pipelined(DAXPY)
+    info = stats.kernels[0]
+    assert info.expected_writer, "kernel must track register producers"
+    # Claim every operand should come from a bogus instance: any use
+    # following a real write in the doubled stream now mismatches.
+    for key in info.expected_writer:
+        info.expected_writer[key] = -1
+    with pytest.raises(VerificationError, match="register dependence"):
+        verify_pipelined_kernels(cfg, stats.kernels)
+
+
+def test_reordered_memory_instances_detected():
+    cfg, stats = _pipelined(DAXPY)
+    info = stats.kernels[0]
+    block = cfg.blocks[info.kernel_label]
+    # Swap the iteration tags of a conflicting load/store pair: the
+    # stream no longer issues conflicting accesses in iteration order.
+    tagged = [i for i in block.instrs if i.uid in info.mem_tags]
+    pair = None
+    for a in tagged:
+        for b in tagged:
+            if (a.uid < b.uid and not (a.is_load and b.is_load)
+                    and a.mem.symbol == b.mem.symbol
+                    and info.mem_tags[a.uid] != info.mem_tags[b.uid]):
+                pair = (a, b)
+    assert pair is not None, "no conflicting tagged pair in kernel"
+    a, b = pair
+    info.mem_tags[a.uid], info.mem_tags[b.uid] = (
+        info.mem_tags[b.uid], info.mem_tags[a.uid])
+    with pytest.raises(VerificationError, match="memory dependence"):
+        verify_pipelined_kernels(cfg, stats.kernels)
+
+
+def test_compile_runs_kernel_verifier():
+    # compile_source with swp must end in a verified, runnable program.
+    result = compile_source(DAXPY, Options(swp=True), "t")
+    assert result.modulo_stats.pipelined >= 1

@@ -1,0 +1,80 @@
+"""``--configs`` / ``REPRO_CONFIGS`` filtering on the CLI."""
+
+import argparse
+
+import pytest
+
+from repro.__main__ import _resolve_configs, main
+
+
+def _args(configs):
+    return argparse.Namespace(configs=configs)
+
+
+def test_comma_and_space_separated_forms(monkeypatch):
+    monkeypatch.delenv("REPRO_CONFIGS", raising=False)
+    assert _resolve_configs(_args(["swp,la+swp"])) == ["swp", "la+swp"]
+    assert _resolve_configs(_args(["base", "lu4"])) == ["base", "lu4"]
+    assert _resolve_configs(_args(["base,lu4", "swp"])) == \
+        ["base", "lu4", "swp"]
+
+
+def test_duplicates_removed_in_order(monkeypatch):
+    monkeypatch.delenv("REPRO_CONFIGS", raising=False)
+    assert _resolve_configs(_args(["swp,base,swp"])) == ["swp", "base"]
+
+
+def test_env_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_CONFIGS", "swp,base")
+    assert _resolve_configs(_args(None)) == ["swp", "base"]
+
+
+def test_flag_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CONFIGS", "base")
+    assert _resolve_configs(_args(["swp"])) == ["swp"]
+
+
+def test_unset_means_no_filter(monkeypatch):
+    monkeypatch.delenv("REPRO_CONFIGS", raising=False)
+    assert _resolve_configs(_args(None)) is None
+
+
+def test_unknown_config_rejected(monkeypatch):
+    monkeypatch.delenv("REPRO_CONFIGS", raising=False)
+    with pytest.raises(SystemExit, match="unknown config"):
+        _resolve_configs(_args(["bogus"]))
+
+
+def test_bench_runs_selected_config(monkeypatch, capsys, tmp_path):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.delenv("REPRO_CONFIGS", raising=False)
+    assert main(["bench", "ora", "--configs", "swp"]) == 0
+    out = capsys.readouterr().out
+    assert "swp" in out
+    assert "lu4" not in out
+
+
+def test_tables_skips_uncovered_tables(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    monkeypatch.delenv("REPRO_CONFIGS", raising=False)
+    # Only static tables are covered by an empty-ish selection.
+    assert main(["tables", "1", "4", "--configs", "base"]) == 0
+    captured = capsys.readouterr()
+    assert "Table 1" in captured.out
+    assert "Table 4" not in captured.out
+    assert "skipping table(s) [4]" in captured.err
+
+
+def test_compile_swp_flag(tmp_path, capsys):
+    source = """
+array A[64] : float;
+func main() {
+    var i : int;
+    for (i = 0; i < 64; i = i + 1) { A[i] = float(i) * 2.0; }
+}
+"""
+    path = tmp_path / "k.mf"
+    path.write_text(source)
+    assert main(["compile", str(path), "--swp"]) == 0
+    out = capsys.readouterr().out
+    assert "HALT" in out

@@ -20,11 +20,29 @@ def test_options_labels():
         "balanced+la+lu8+trs"
 
 
+def test_options_labels_cover_every_codegen_knob():
+    # Every knob that changes generated code must show up, so cache
+    # keys and manifests stay unambiguous across ablation runs.
+    assert Options(swp=True).label() == "balanced+swp"
+    assert Options(predicate=False).label() == "balanced+nopred"
+    assert Options(extra_opts=True).label() == "balanced+xopts"
+    assert Options(scheduler="traditional", locality=True, unroll=4,
+                   swp=True, predicate=False, extra_opts=True).label() == \
+        "traditional+la+lu4+swp+nopred+xopts"
+    # Distinct option sets never collide on a label.
+    labels = {Options(swp=swp, predicate=pred, extra_opts=xtr).label()
+              for swp in (False, True) for pred in (False, True)
+              for xtr in (False, True)}
+    assert len(labels) == 8
+
+
 def test_options_validation():
     with pytest.raises(ValueError):
         Options(scheduler="bogus").validate()
     with pytest.raises(ValueError):
         Options(unroll=3).validate()
+    with pytest.raises(ValueError):
+        Options(scheduler="none", swp=True).validate()
 
 
 def test_weight_model_selection():

@@ -16,7 +16,15 @@ def test_config_grid_matches_paper_axes():
     assert set(CONFIGS) == {
         "base", "lu4", "lu8", "trs4", "trs8",
         "la", "la+lu4", "la+lu8", "la+trs4", "la+trs8",
+        "swp", "la+swp",
     }
+
+
+def test_options_for_swp_configs():
+    options = options_for("balanced", "swp")
+    assert options.swp and not options.locality
+    options = options_for("balanced", "la+swp")
+    assert options.swp and options.locality
 
 
 def test_options_for_builds_correct_knobs():

@@ -33,3 +33,39 @@ def test_write_report(tmp_path):
     path = tmp_path / "report.md"
     text = write_report(path, StubRunner())
     assert path.read_text().strip() == text.strip()
+
+
+def test_report_includes_swp_section():
+    text = build_report(StubRunner())
+    assert "## Software pipelining" in text
+    # Stub loops all satisfy II <= 2*MII (ii=9, mii=8).
+    assert "II <= 2*MII" in text
+    assert "Geomean speedup of `swp`" in text
+
+
+def test_configs_filter_drops_unselected_metrics():
+    text = build_report(StubRunner(), configs=["base", "lu4"])
+    assert "BS vs TS, LU4" in text
+    assert "BS vs TS, LU8" not in text
+    assert "## Software pipelining" not in text
+
+
+def test_configs_filter_keeps_swp_section_when_selected():
+    text = build_report(StubRunner(),
+                        configs=["base", "lu4", "swp", "la+swp"])
+    assert "## Software pipelining" in text
+
+
+def test_swp_section_flags_contract_violations():
+    from repro.harness.report import swp_section
+
+    class BadRunner(StubRunner):
+        def run(self, benchmark, scheduler, config):
+            result = super().run(benchmark, scheduler, config)
+            for loop in result.swp_loops:
+                if loop["pipelined"]:
+                    loop["ii"] = 3 * loop["mii"]
+            return result
+
+    lines = swp_section(BadRunner())
+    assert any("contract broken" in line for line in lines)

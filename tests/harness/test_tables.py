@@ -17,11 +17,12 @@ from repro.harness.tables import (
     table7,
     table8,
     table9,
+    table10,
 )
 
 
 def _result(benchmark, scheduler, config, cycles, load_intlk,
-            instructions=1000):
+            instructions=1000, **swp_fields):
     return RunResult(
         benchmark=benchmark, scheduler=scheduler, config=config,
         total_cycles=cycles, instructions=instructions,
@@ -30,7 +31,7 @@ def _result(benchmark, scheduler, config, cycles, load_intlk,
         spill_loads=0, spill_stores=0, loads=100, stores=50, branches=20,
         short_int=300, long_int=5, short_fp=400, long_fp=5,
         l1d_misses=10, l2_misses=5, l3_misses=1, branch_mispredicts=3,
-        static_instructions=200, spill_slots=0)
+        static_instructions=200, spill_slots=0, **swp_fields)
 
 
 class StubRunner:
@@ -39,7 +40,8 @@ class StubRunner:
 
     SPEED = {"base": 1.0, "lu4": 1.2, "lu8": 1.3, "trs4": 1.25,
              "trs8": 1.35, "la": 1.1, "la+lu4": 1.28, "la+lu8": 1.33,
-             "la+trs4": 1.3, "la+trs8": 1.4}
+             "la+trs4": 1.3, "la+trs8": 1.4,
+             "swp": 1.15, "la+swp": 1.25}
 
     def run(self, benchmark, scheduler, config):
         base = 100_000
@@ -51,8 +53,23 @@ class StubRunner:
             cycles = int(base / (1 + (factor - 1) * 0.5))
             interlock = 15000
         instructions = int(80_000 / (1 + (factor - 1) * 0.6))
+        swp_fields = {}
+        if config.endswith("swp"):
+            loops = [
+                {"label": ".loop1", "pipelined": True, "reason": "",
+                 "n_ops": 8, "res_mii": 8, "rec_mii": 4, "mii": 8,
+                 "ii": 9, "stages": 2, "unroll": 2},
+                {"label": ".loop2", "pipelined": False,
+                 "reason": "no-overlap", "n_ops": 3, "res_mii": 3,
+                 "rec_mii": 1, "mii": 3, "ii": 3, "stages": 1,
+                 "unroll": 0},
+            ]
+            swp_fields = dict(swp_attempted=2, swp_pipelined=1,
+                              swp_mean_ii_over_mii=9 / 8,
+                              swp_max_ii_over_mii=9 / 8,
+                              swp_loops=loops)
         return _result(benchmark, scheduler, config, cycles, interlock,
-                       instructions)
+                       instructions, **swp_fields)
 
 
 @pytest.fixture
@@ -132,6 +149,25 @@ def test_table9_rows(runner):
     assert table.rows[0][1] == "n.a."
     # la+lu4 vs la: (1.28/1.1)
     assert table.rows[1][1] == "1.16"
+
+
+def test_table10_swp_columns(runner):
+    table = table10(runner, benchmarks=BENCHES)
+    assert table.headers[0] == "Benchmark"
+    assert "BS SWP" in table.headers
+    row = table.rows[0]
+    # Stub: swp speedup for balanced = 1.15 over base.
+    assert row[1] == "1.15"
+    assert row[4] == "1/2"            # loops pipelined / attempted
+    assert row[5] == "1.12"           # max II/MII = 9/8
+    assert table.rows[-1][0] == "AVERAGE"
+
+
+def test_table_configs_cover_all_tables():
+    from repro.harness.tables import ALL_TABLES, TABLE_CONFIGS
+
+    assert set(TABLE_CONFIGS) == set(ALL_TABLES)
+    assert "swp" in TABLE_CONFIGS[10]
 
 
 def test_format_table_alignment():

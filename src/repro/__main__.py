@@ -8,12 +8,19 @@ Commands:
 * ``bench [NAMES]``  — run workload benchmarks under the full grid;
 * ``tables [N ...]`` — regenerate the paper's tables;
 * ``report``         — paper-vs-measured markdown report;
+* ``profile BENCH``  — compile + simulate one benchmark with full
+  observability: stall-attribution table, schedule provenance, and a
+  Perfetto-loadable trace;
+* ``obs-diff A B``   — compare two run manifests and flag cycle /
+  load-interlock regressions beyond a threshold;
 * ``workloads``      — list the 17 benchmarks.
 
 Common compiler flags: ``--scheduler {balanced,traditional,none}``,
 ``--unroll {0,4,8}``, ``--trace``, ``--locality``, ``--swp``,
 ``--issue-width N``.  ``bench``/``tables``/``report`` accept
-``--configs a,b,c`` (or ``REPRO_CONFIGS``) to restrict the grid.
+``--configs a,b,c`` (or ``REPRO_CONFIGS``) to restrict the grid and
+``--trace [PREFIX]`` to record a pipeline trace (JSONL + Chrome
+trace-event files, written at ``PREFIX.jsonl`` / ``PREFIX.chrome.json``).
 """
 
 from __future__ import annotations
@@ -31,23 +38,37 @@ from .harness import (
     ExperimentRunner,
     Options,
     compile_source,
+    options_for,
 )
 from .machine import DEFAULT_CONFIG, Simulator
+from .obs import NULL_OBSERVER, Observer, TracingObserver
 from .workloads import WORKLOAD_ORDER, WORKLOADS
 
 
-def _default_jobs() -> int:
+def _default_jobs():
+    """Raw ``$REPRO_JOBS`` (validated later: a bad value must produce
+    a one-line error, not a traceback while building the parser)."""
     env = os.environ.get("REPRO_JOBS")
-    return int(env) if env else 1
+    return env if env and env.strip() else 1
 
 
-def _resolve_jobs(jobs: int) -> int:
+def _resolve_jobs(jobs) -> int:
+    try:
+        jobs = int(jobs)
+    except (TypeError, ValueError):
+        raise SystemExit(
+            f"repro: invalid --jobs/REPRO_JOBS value {jobs!r} "
+            f"(expected an integer; 0 = all cores)")
+    if jobs < 0:
+        raise SystemExit(f"repro: --jobs must be >= 0, got {jobs}")
     return jobs if jobs > 0 else (os.cpu_count() or 1)
 
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    # No type=int: validation happens in _resolve_jobs so a bad
+    # $REPRO_JOBS and a bad --jobs produce the same one-line error.
     parser.add_argument(
-        "--jobs", "-j", type=int, default=_default_jobs(),
+        "--jobs", "-j", default=_default_jobs(),
         help="worker processes for the experiment grid "
              "(default: $REPRO_JOBS or 1; 0 = all cores)")
 
@@ -79,6 +100,30 @@ def _resolve_configs(args: argparse.Namespace) -> list[str] | None:
             f"(known: {', '.join(CONFIGS)})")
     # Deduplicate, preserving order.
     return list(dict.fromkeys(names)) or None
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", nargs="?", const="repro-trace", default=None,
+        metavar="PREFIX",
+        help="record a pipeline trace (spans + stall attribution); "
+             "writes PREFIX.jsonl and PREFIX.chrome.json "
+             "(default prefix: repro-trace); forces in-process "
+             "serial execution")
+
+
+def _make_observer(args: argparse.Namespace) -> Observer:
+    if getattr(args, "trace", None) is None:
+        return NULL_OBSERVER
+    return TracingObserver()
+
+
+def _finish_trace(observer: Observer, args: argparse.Namespace) -> None:
+    if not observer.enabled:
+        return
+    paths = observer.write(args.trace)
+    print(f"trace written: {paths['jsonl']}, {paths['chrome']}",
+          file=sys.stderr)
 
 
 def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
@@ -129,7 +174,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(verbose=True, jobs=_resolve_jobs(args.jobs))
+    observer = _make_observer(args)
+    runner = ExperimentRunner(verbose=True,
+                              jobs=_resolve_jobs(args.jobs),
+                              observer=observer)
     names = args.names or list(WORKLOAD_ORDER)
     configs = _resolve_configs(args) or ["base", "lu4", "lu8"]
     # Fan the grid out first (parallel when --jobs > 1); printing below
@@ -149,11 +197,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
                       f"{100 * result.load_interlock_fraction:>9.1f}%")
     if runner.use_cache:
         print(f"run manifest: {runner.manifest_path}", file=sys.stderr)
+    _finish_trace(observer, args)
     return 0
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(verbose=True, jobs=_resolve_jobs(args.jobs))
+    observer = _make_observer(args)
+    runner = ExperimentRunner(verbose=True,
+                              jobs=_resolve_jobs(args.jobs),
+                              observer=observer)
     numbers = args.numbers or sorted(ALL_TABLES)
     configs = _resolve_configs(args)
     if configs is not None:
@@ -173,13 +225,17 @@ def cmd_tables(args: argparse.Namespace) -> int:
         table = fn() if number <= 3 else fn(runner)
         print()
         print(table.format())
+    _finish_trace(observer, args)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     from .harness.report import build_report, write_report
 
-    runner = ExperimentRunner(verbose=True, jobs=_resolve_jobs(args.jobs))
+    observer = _make_observer(args)
+    runner = ExperimentRunner(verbose=True,
+                              jobs=_resolve_jobs(args.jobs),
+                              observer=observer)
     configs = _resolve_configs(args)
     if args.output:
         text = write_report(args.output, runner, configs=configs)
@@ -187,7 +243,75 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         text = build_report(runner, configs=configs)
     print(text)
+    _finish_trace(observer, args)
     return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Compile + simulate one benchmark with full observability."""
+    name = args.benchmark
+    if name in WORKLOADS:
+        source = WORKLOADS[name].source
+    elif Path(name).is_file():
+        source = Path(name).read_text()
+        name = Path(name).stem
+    else:
+        raise SystemExit(
+            f"repro profile: unknown benchmark {name!r} and no such "
+            f"file (known: {', '.join(WORKLOAD_ORDER)})")
+
+    observer = TracingObserver()
+    options = options_for(args.scheduler, args.config)
+    result = compile_source(source, options, name, observer=observer)
+    stall_profile = observer.stall_profile(name, args.scheduler,
+                                           args.config)
+    sim = Simulator(result.program, config=options.config,
+                    stall_profile=stall_profile)
+    with observer.span("simulate", benchmark=name) as span:
+        metrics = sim.run()
+        span.annotate(cycles=metrics.total_cycles,
+                      instructions=metrics.instructions)
+
+    print(f"== {name} / {args.scheduler} / {args.config} ==")
+    print(metrics.summary())
+    attributed = stall_profile.total_load_interlock
+    print(f"\nstall attribution ({attributed} load-interlock cycles "
+          f"over {len(stall_profile.load_interlock)} static load "
+          f"sites; top {args.top}):")
+    print(stall_profile.format_hot_loads(
+        result.program, n=args.top, total_cycles=metrics.total_cycles))
+    if attributed != metrics.load_interlock_cycles:
+        print(f"WARNING: attributed {attributed} != "
+              f"metrics {metrics.load_interlock_cycles}",
+              file=sys.stderr)
+    prov = observer.provenance
+    if prov is not None and len(prov):
+        deviating = len(prov.balanced_deviations())
+        print(f"\nschedule provenance ({len(prov)} loads, "
+              f"{deviating} with non-architectural weights; "
+              f"top {args.top} by weight delta):")
+        print(prov.format_table(n=args.top))
+    print("\npipeline phases:")
+    for span_name, entry in \
+            observer.trace.summary()["by_name"].items():
+        print(f"  {span_name:<18} x{entry['count']:<4} "
+              f"{entry['us'] / 1e3:9.2f} ms")
+    paths = observer.write(args.out)
+    print(f"\ntrace written: {paths['jsonl']}, {paths['chrome']}",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    from .obs import diff_manifest_files
+
+    try:
+        result = diff_manifest_files(args.base, args.new,
+                                     threshold=args.threshold)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro obs-diff: {exc}")
+    print(result.format())
+    return 0 if result.ok else 1
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -224,6 +348,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="benchmark names (default: all)")
     _add_configs_flag(p_bench, "base lu4 lu8")
     _add_jobs_flag(p_bench)
+    _add_trace_flag(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -231,6 +356,7 @@ def main(argv: list[str] | None = None) -> int:
                           choices=sorted(ALL_TABLES))
     _add_configs_flag(p_tables, "all")
     _add_jobs_flag(p_tables)
+    _add_trace_flag(p_tables)
     p_tables.set_defaults(fn=cmd_tables)
 
     p_report = sub.add_parser("report",
@@ -238,7 +364,37 @@ def main(argv: list[str] | None = None) -> int:
     p_report.add_argument("--output", "-o", default=None)
     _add_configs_flag(p_report, "all")
     _add_jobs_flag(p_report)
+    _add_trace_flag(p_report)
     p_report.set_defaults(fn=cmd_report)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="profile one benchmark: stall attribution + trace")
+    p_profile.add_argument("benchmark",
+                           help="workload name or source file")
+    p_profile.add_argument("--scheduler", default="balanced",
+                           choices=("balanced", "traditional"))
+    p_profile.add_argument("--config", default="base",
+                           choices=tuple(CONFIGS),
+                           help="grid config (default: base)")
+    p_profile.add_argument("--top", type=int, default=10,
+                           help="rows in the hot-load / provenance "
+                                "tables (default: 10)")
+    p_profile.add_argument("--out", default="repro-profile",
+                           metavar="PREFIX",
+                           help="trace file prefix "
+                                "(default: repro-profile)")
+    p_profile.set_defaults(fn=cmd_profile)
+
+    p_diff = sub.add_parser(
+        "obs-diff",
+        help="compare two run manifests for cycle regressions")
+    p_diff.add_argument("base", help="baseline run-manifest.json")
+    p_diff.add_argument("new", help="candidate run-manifest.json")
+    p_diff.add_argument("--threshold", type=float, default=0.02,
+                        help="relative regression threshold "
+                             "(default: 0.02 = 2%%)")
+    p_diff.set_defaults(fn=cmd_obs_diff)
 
     p_work = sub.add_parser("workloads", help="list the workload")
     p_work.set_defaults(fn=cmd_workloads)

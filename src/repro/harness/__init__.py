@@ -12,11 +12,15 @@ from .experiment import (
     CONFIGS,
     SCHEDULERS,
     ExperimentRunner,
+    Manifest,
+    ManifestRun,
     RunResult,
     RunTiming,
     arithmetic_mean,
     geometric_mean,
+    load_manifest,
     options_for,
+    parse_manifest,
 )
 from .report import build_report, write_report
 from .tables import (
@@ -41,7 +45,9 @@ __all__ = [
     "CompileResult", "Options", "compile_and_run", "compile_source",
     "make_weight_model", "run_compiled",
     "CONFIGS", "SCHEDULERS", "ExperimentRunner", "RunResult",
-    "RunTiming", "arithmetic_mean", "geometric_mean", "options_for",
+    "RunTiming", "Manifest", "ManifestRun", "load_manifest",
+    "parse_manifest",
+    "arithmetic_mean", "geometric_mean", "options_for",
     "build_report", "write_report",
     "ALL_TABLES", "TABLE_CONFIGS", "Table", "format_table",
     "generate_all",

@@ -32,6 +32,7 @@ from ..frontend import frontend, parse, analyze
 from ..ir import Cfg
 from ..isa import MachineProgram
 from ..machine import DEFAULT_CONFIG, MachineConfig, Metrics, Simulator
+from ..obs import NULL_OBSERVER, Observer
 from ..opt.constfold import fold_constants
 from ..opt.copyprop import propagate_copies
 from ..opt.dce import eliminate_dead_code
@@ -135,59 +136,106 @@ def make_weight_model(options: Options) -> Optional[WeightModel]:
     return None
 
 
+def _cfg_stats(cfg: Cfg) -> dict:
+    """IR-delta annotations for trace spans (enabled observers only)."""
+    instrs = sum(len(block.instrs) for block in cfg)
+    loads = sum(1 for block in cfg
+                for ins in block.instrs if ins.is_load)
+    return {"blocks": len(cfg), "instrs": instrs, "loads": loads}
+
+
 def compile_source(source: str, options: Options = Options(),
-                   name: str = "program") -> CompileResult:
-    """Compile *source* under *options* to an executable program."""
+                   name: str = "program",
+                   observer: Observer = NULL_OBSERVER) -> CompileResult:
+    """Compile *source* under *options* to an executable program.
+
+    An enabled *observer* gets one nested trace span per pipeline
+    phase, each annotated with the IR shape after the phase
+    (blocks/instructions/loads), plus per-load schedule provenance
+    from the block scheduler.  The default observer is a no-op and
+    changes nothing.
+    """
     options.validate()
     phase_start = time.perf_counter()
-    program_ast = frontend(source, name)
+    with observer.span("compile", benchmark=name,
+                       options=options.label()):
+        with observer.span("frontend"):
+            program_ast = frontend(source, name)
 
-    unroll_stats = None
-    locality_stats = None
-    if options.locality:
-        locality_stats = analyze_locality(program_ast)
-    if options.unroll:
-        unroll_stats = unroll_program(program_ast, options.unroll)
-    if options.predicate:
-        predicate_program(program_ast)
+        unroll_stats = None
+        locality_stats = None
+        with observer.span("ast-transforms", locality=options.locality,
+                           unroll=options.unroll,
+                           predicate=options.predicate):
+            if options.locality:
+                locality_stats = analyze_locality(program_ast)
+            if options.unroll:
+                unroll_stats = unroll_program(program_ast,
+                                              options.unroll)
+            if options.predicate:
+                predicate_program(program_ast)
 
-    cfg = lower(program_ast)
-    if options.classic_opts:
-        fold_constants(cfg)
-        propagate_copies(cfg)
-        eliminate_dead_code(cfg)
-    if options.extra_opts:
-        from ..opt.cse import eliminate_common_subexpressions
-        from ..opt.licm import hoist_loop_invariants
+        with observer.span("lower") as span:
+            cfg = lower(program_ast)
+            if observer.enabled:
+                span.annotate(**_cfg_stats(cfg))
 
-        eliminate_common_subexpressions(cfg)
-        hoist_loop_invariants(cfg)
-        propagate_copies(cfg)
-        eliminate_dead_code(cfg)
+        with observer.span("cleanups",
+                           extra_opts=options.extra_opts) as span:
+            if options.classic_opts:
+                fold_constants(cfg)
+                propagate_copies(cfg)
+                eliminate_dead_code(cfg)
+            if options.extra_opts:
+                from ..opt.cse import eliminate_common_subexpressions
+                from ..opt.licm import hoist_loop_invariants
 
-    compile_done = time.perf_counter()
-    model = make_weight_model(options)
-    trace_stats = None
-    profile = None
-    if options.trace and model is not None:
-        profile = _collect_profile(cfg, options)
-        trace_stats = trace_schedule(cfg, profile, model)
-    elif model is not None:
-        schedule_cfg(cfg, model)
-    modulo_stats = None
-    if options.swp:
-        # Software pipelining runs over the already-scheduled CFG: the
-        # non-kernel blocks keep their balanced/traditional list
-        # schedules, and the modulo scheduler reuses the same weight
-        # model for its dependence latencies.
-        modulo_stats = pipeline_loops(cfg, options.config, model)
-        verify_pipelined_kernels(cfg, modulo_stats.kernels)
-    schedule_done = time.perf_counter()
+                eliminate_common_subexpressions(cfg)
+                hoist_loop_invariants(cfg)
+                propagate_copies(cfg)
+                eliminate_dead_code(cfg)
+            if observer.enabled:
+                span.annotate(**_cfg_stats(cfg))
 
-    allocation = allocate_registers(cfg)
-    regalloc_done = time.perf_counter()
-    program = cfg.linearize()
-    verify_program(program)
+        compile_done = time.perf_counter()
+        model = make_weight_model(options)
+        trace_stats = None
+        profile = None
+        with observer.span("schedule", scheduler=options.scheduler,
+                           trace=options.trace) as span:
+            if options.trace and model is not None:
+                profile = _collect_profile(cfg, options)
+                trace_stats = trace_schedule(cfg, profile, model)
+            elif model is not None:
+                schedule_cfg(cfg, model, observer=observer)
+            if observer.enabled:
+                span.annotate(**_cfg_stats(cfg))
+        modulo_stats = None
+        if options.swp:
+            # Software pipelining runs over the already-scheduled CFG:
+            # the non-kernel blocks keep their balanced/traditional
+            # list schedules, and the modulo scheduler reuses the same
+            # weight model for its dependence latencies.
+            with observer.span("swp") as span:
+                modulo_stats = pipeline_loops(cfg, options.config,
+                                              model)
+                verify_pipelined_kernels(cfg, modulo_stats.kernels)
+                if observer.enabled:
+                    span.annotate(
+                        loops_attempted=modulo_stats.attempted,
+                        loops_pipelined=modulo_stats.pipelined)
+        schedule_done = time.perf_counter()
+
+        with observer.span("regalloc") as span:
+            allocation = allocate_registers(cfg)
+            if observer.enabled:
+                span.annotate(spill_slots=allocation.n_slots)
+        regalloc_done = time.perf_counter()
+        with observer.span("linearize-verify") as span:
+            program = cfg.linearize()
+            verify_program(program)
+            if observer.enabled:
+                span.annotate(static_instructions=len(program))
     phase_seconds = {
         "compile": compile_done - phase_start,
         "schedule": schedule_done - compile_done,

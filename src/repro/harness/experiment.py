@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Optional
 
 from ..machine import Simulator
+from ..obs import NULL_OBSERVER, Observer
 from ..workloads.programs import WORKLOADS, Workload
 from .compile import Options, compile_source
 
@@ -139,6 +140,92 @@ class RunTiming:
         return data
 
 
+@dataclass
+class ManifestRun:
+    """One grid point of a run manifest (RunTiming + result extras)."""
+
+    benchmark: str
+    scheduler: str
+    config: str
+    cached: bool
+    phase_seconds: dict = field(default_factory=dict)
+    total_seconds: float = 0.0
+    simulated_instructions: int = 0
+    modulo: Optional[dict] = None
+    instructions_per_second: float = 0.0
+    total_cycles: int = 0
+    load_interlock_cycles: int = 0
+
+    def timing(self) -> RunTiming:
+        """The :class:`RunTiming` this entry was serialized from."""
+        return RunTiming(
+            benchmark=self.benchmark, scheduler=self.scheduler,
+            config=self.config, cached=self.cached,
+            phase_seconds=dict(self.phase_seconds),
+            total_seconds=self.total_seconds,
+            simulated_instructions=self.simulated_instructions,
+            modulo=self.modulo)
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class Manifest:
+    """A parsed run manifest; round-trips through JSON losslessly."""
+
+    version: int
+    fingerprint: str
+    jobs: int
+    grid_points: int
+    executed: int
+    cached: int
+    wall_seconds: float
+    simulated_instructions: int
+    runs: list[ManifestRun] = field(default_factory=list)
+    modulo: Optional[dict] = None
+    trace: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["runs"] = [run.to_json() for run in self.runs]
+        if self.modulo is None:
+            del data["modulo"]
+        if self.trace is None:
+            del data["trace"]
+        return data
+
+    def run_for(self, benchmark: str, scheduler: str,
+                config: str) -> Optional[ManifestRun]:
+        for run in self.runs:
+            if (run.benchmark, run.scheduler, run.config) == \
+                    (benchmark, scheduler, config):
+                return run
+        return None
+
+
+def parse_manifest(data: dict) -> Manifest:
+    """Build a :class:`Manifest` from a manifest JSON dict."""
+    runs = [ManifestRun(**entry) for entry in data.get("runs", [])]
+    return Manifest(
+        version=data.get("version", 1),
+        fingerprint=data.get("fingerprint", ""),
+        jobs=data.get("jobs", 1),
+        grid_points=data.get("grid_points", len(runs)),
+        executed=data.get("executed", 0),
+        cached=data.get("cached", 0),
+        wall_seconds=data.get("wall_seconds", 0.0),
+        simulated_instructions=data.get("simulated_instructions", 0),
+        runs=runs,
+        modulo=data.get("modulo"),
+        trace=data.get("trace"))
+
+
+def load_manifest(path: str | Path) -> Manifest:
+    """Load a run manifest written by :meth:`ExperimentRunner.sweep`."""
+    return parse_manifest(json.loads(Path(path).read_text()))
+
+
 def options_for(scheduler: str, config: str) -> Options:
     """Build compiler options for a named grid point."""
     knobs = CONFIGS[config]
@@ -187,14 +274,26 @@ def _atomic_write_json(path: Path, payload) -> None:
 
 
 def _execute_grid_point(workload: Workload, scheduler: str,
-                        config: str) -> tuple[RunResult, RunTiming]:
+                        config: str,
+                        observer: Observer = NULL_OBSERVER
+                        ) -> tuple[RunResult, RunTiming]:
     """Compile and simulate one grid point, with phase timings."""
     start = time.perf_counter()
-    compiled = compile_source(workload.source,
-                              options_for(scheduler, config),
-                              workload.name)
-    sim = Simulator(compiled.program)
-    metrics = sim.run()
+    with observer.span("grid-point", benchmark=workload.name,
+                       scheduler=scheduler, config=config):
+        compiled = compile_source(workload.source,
+                                  options_for(scheduler, config),
+                                  workload.name, observer=observer)
+        stall_profile = observer.stall_profile(workload.name, scheduler,
+                                               config)
+        sim = Simulator(compiled.program, stall_profile=stall_profile)
+        with observer.span("simulate") as span:
+            metrics = sim.run()
+            if observer.enabled:
+                span.annotate(cycles=metrics.total_cycles,
+                              instructions=metrics.instructions,
+                              load_interlock_cycles=(
+                                  metrics.load_interlock_cycles))
     total_seconds = time.perf_counter() - start
     phases = dict(compiled.phase_seconds)
     phases["simulate"] = sim.run_seconds
@@ -254,7 +353,8 @@ class ExperimentRunner:
 
     def __init__(self, cache_dir: Optional[Path] = None,
                  verbose: bool = False, jobs: int = 1,
-                 fingerprint: Optional[str] = None) -> None:
+                 fingerprint: Optional[str] = None,
+                 observer: Observer = NULL_OBSERVER) -> None:
         if cache_dir is None:
             cache_dir = Path(
                 os.environ.get("REPRO_CACHE_DIR",
@@ -263,6 +363,13 @@ class ExperimentRunner:
         self.use_cache = os.environ.get("REPRO_NO_CACHE") != "1"
         self.verbose = verbose
         self.jobs = max(1, jobs)
+        #: Observability sink.  An *enabled* observer needs in-process
+        #: execution for stall attribution, so cached results are
+        #: bypassed (recomputation is deterministic and re-publishes
+        #: identical cache entries) and sweeps run serially.  The
+        #: default no-op observer changes nothing: cache keys, cycle
+        #: counts and parallel fan-out are exactly as before.
+        self.observer = observer
         # Hashing the package is not free; workers receive the parent's
         # fingerprint instead of recomputing it per process.
         self._fingerprint = fingerprint or _package_fingerprint()
@@ -308,7 +415,8 @@ class ExperimentRunner:
         workload = WORKLOADS[benchmark]
         path = self._cache_path(workload, scheduler, config)
         start = time.perf_counter()
-        result = self._load_cached(path)
+        result = None if self.observer.enabled else \
+            self._load_cached(path)
         if result is not None:
             self.timings[key] = RunTiming(
                 benchmark=benchmark, scheduler=scheduler, config=config,
@@ -318,7 +426,8 @@ class ExperimentRunner:
             if self.verbose:
                 print(f"  running {benchmark} / {scheduler} / {config}")
             result, timing = _execute_grid_point(workload, scheduler,
-                                                config)
+                                                config,
+                                                observer=self.observer)
             self.timings[key] = timing
             self._store_cached(path, result)
         self._memory[key] = result
@@ -341,12 +450,19 @@ class ExperimentRunner:
                 for scheduler in schedulers
                 for config in (configs or list(CONFIGS))]
         jobs = self.jobs if jobs is None else max(1, jobs)
+        if self.observer.enabled:
+            # Spans and stall profiles live in this process: run every
+            # point here (serially) and never satisfy one from disk.
+            jobs = 1
         sweep_start = time.perf_counter()
 
         # Resolve memory/disk hits in-process; only misses need a core.
         pending: list[tuple[str, str, str]] = []
         for key in grid:
             if key in self._memory:
+                continue
+            if self.observer.enabled:
+                pending.append(key)
                 continue
             benchmark, scheduler, config = key
             path = self._cache_path(WORKLOADS[benchmark], scheduler,
@@ -425,11 +541,13 @@ class ExperimentRunner:
                 continue
             entry = timing.to_json()
             entry["total_cycles"] = result.total_cycles
+            entry["load_interlock_cycles"] = (
+                result.load_interlock_cycles)
             runs.append(entry)
         executed = [r for r in runs if not r["cached"]]
         modulo = self._modulo_aggregates(grid)
         payload = {
-            "version": 1,
+            "version": 2,
             "fingerprint": self._fingerprint,
             "jobs": jobs,
             "grid_points": len(dict.fromkeys(grid)),
@@ -442,6 +560,8 @@ class ExperimentRunner:
         }
         if modulo:
             payload["modulo"] = modulo
+        if self.observer.enabled:
+            payload["trace"] = self.observer.summary()
         _atomic_write_json(self.manifest_path, payload)
 
     def _modulo_aggregates(self, grid: list[tuple[str, str, str]]) -> dict:

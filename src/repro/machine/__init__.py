@@ -11,7 +11,7 @@ from .config import (
     MachineConfig,
     TlbConfig,
 )
-from .metrics import CacheStats, Metrics
+from .metrics import CacheStats, Metrics, MetricsInvariantError
 from .simulator import SimulationError, Simulator, simulate
 
 __all__ = [
@@ -19,6 +19,6 @@ __all__ = [
     "DEFAULT_CONFIG", "ELEMENT_BYTES", "ELEMENTS_PER_LINE",
     "INSTRUCTION_LATENCIES", "OP_LATENCY",
     "CacheLevelConfig", "MachineConfig", "TlbConfig",
-    "CacheStats", "Metrics",
+    "CacheStats", "Metrics", "MetricsInvariantError",
     "SimulationError", "Simulator", "simulate",
 ]

@@ -13,6 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+class MetricsInvariantError(ValueError):
+    """A simulation counter violated a structural invariant."""
+
+
 @dataclass
 class CacheStats:
     accesses: int = 0
@@ -87,6 +91,64 @@ class Metrics:
             "spill_loads": self.spill_loads,
             "spill_stores": self.spill_stores,
         }
+
+    def validate(self, issue_width: int = 1) -> None:
+        """Check the structural invariants between counters.
+
+        Called at the end of every simulation when the
+        ``REPRO_VALIDATE_METRICS=1`` environment variable is set (the
+        test suite sets it), so a counter-accounting bug fails loudly
+        instead of silently skewing a table.  Raises
+        :class:`MetricsInvariantError` with a one-line reason.
+        """
+        def fail(reason: str) -> None:
+            raise MetricsInvariantError(f"metrics invariant: {reason}")
+
+        counters = {
+            "total_cycles": self.total_cycles,
+            "instructions": self.instructions,
+            "load_interlock_cycles": self.load_interlock_cycles,
+            "fixed_interlock_cycles": self.fixed_interlock_cycles,
+            "icache_stall_cycles": self.icache_stall_cycles,
+            "branch_stall_cycles": self.branch_stall_cycles,
+            "mshr_stall_cycles": self.mshr_stall_cycles,
+            "dtlb_misses": self.dtlb_misses,
+            "itlb_misses": self.itlb_misses,
+            "branch_mispredicts": self.branch_mispredicts,
+            **self.class_counts(),
+        }
+        for name, value in counters.items():
+            if value < 0:
+                fail(f"{name} is negative ({value})")
+        class_sum = (self.short_int + self.long_int + self.short_fp
+                     + self.long_fp + self.loads + self.stores
+                     + self.branches)
+        if class_sum != self.instructions:
+            fail(f"instruction-class counts sum to {class_sum}, "
+                 f"expected instructions={self.instructions}")
+        if self.spill_loads > self.loads:
+            fail(f"spill_loads {self.spill_loads} > loads {self.loads}")
+        if self.spill_stores > self.stores:
+            fail(f"spill_stores {self.spill_stores} > "
+                 f"stores {self.stores}")
+        if self.instructions and \
+                self.total_cycles * max(issue_width, 1) < self.instructions:
+            fail(f"total_cycles {self.total_cycles} x width "
+                 f"{issue_width} < instructions {self.instructions}")
+        if self.interlock_cycles > self.total_cycles:
+            fail(f"interlock cycles {self.interlock_cycles} > "
+                 f"total_cycles {self.total_cycles}")
+        if self.mshr_stall_cycles > self.load_interlock_cycles:
+            fail(f"mshr_stall_cycles {self.mshr_stall_cycles} > "
+                 f"load_interlock_cycles {self.load_interlock_cycles}")
+        for level, stats in (("l1d", self.l1d), ("l1i", self.l1i),
+                             ("l2", self.l2), ("l3", self.l3)):
+            if stats.misses > stats.accesses:
+                fail(f"{level} misses {stats.misses} > "
+                     f"accesses {stats.accesses}")
+        if self.branch_mispredicts > self.branches:
+            fail(f"branch_mispredicts {self.branch_mispredicts} > "
+                 f"branches {self.branches}")
 
     def summary(self) -> str:
         lines = [

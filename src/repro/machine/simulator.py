@@ -23,13 +23,17 @@ frequencies (the paper's profiling step for trace selection).
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..isa import MachineProgram, OpClass, Reg
 from .cache import BranchPredictor, Cache, Tlb
 from .config import DEFAULT_CONFIG, MachineConfig
 from .metrics import Metrics
+
+if TYPE_CHECKING:   # no runtime dependency on the obs package
+    from ..obs.stall import StallProfile
 
 _MASK64 = (1 << 64) - 1
 
@@ -63,10 +67,15 @@ class Simulator:
     def __init__(self, program: MachineProgram,
                  config: MachineConfig = DEFAULT_CONFIG,
                  profile: bool = False,
-                 stack_words: int = 4096) -> None:
+                 stack_words: int = 4096,
+                 stall_profile: Optional["StallProfile"] = None) -> None:
         self.program = program
         self.config = config
         self.profiling = profile
+        #: Optional per-PC stall attribution sink (obs.StallProfile).
+        #: None (the default) keeps the hot loop on the fast path: one
+        #: boolean test per instruction, no counter updates.
+        self.stall_profile = stall_profile
 
         # Architectural memory: one Python number per 8-byte word.
         data_words = max(program.data_size // 8, 16)
@@ -213,6 +222,21 @@ class Simulator:
         slots_left = width
         mem_left = mem_ports
 
+        # Optional cycle-level stall attribution (obs.StallProfile).
+        # `observing` is the only cost on the disabled path; timing and
+        # architectural state are identical either way.
+        sp = self.stall_profile
+        observing = sp is not None
+        if observing:
+            producer_pc = [-1] * len(regs)
+            sp_exec = sp.exec_counts
+            sp_load_intlk = sp.load_interlock
+            sp_fixed_intlk = sp.fixed_interlock
+            sp_hits = sp.load_hits
+            sp_misses = sp.load_misses
+            sp_mshr = sp.mshr_stalls
+            l1_hit_latency = config.l1d.latency
+
         class_counts = {"short_int": 0, "long_int": 0, "short_fp": 0,
                         "long_fp": 0, "loads": 0, "stores": 0,
                         "branches": 0}
@@ -257,27 +281,41 @@ class Simulator:
              is_spill, reads_dest) = decoded[pc]
             executed += 1
             class_counts[cls_field] += 1
+            if observing:
+                sp_exec[pc] = sp_exec.get(pc, 0) + 1
 
             # ----- operand readiness / interlock attribution
             start = t
             stall_is_load = False
+            stall_slot = -1
             for s in srcs:
                 rt = ready[s]
                 if rt > start:
                     start = rt
                     stall_is_load = from_load[s]
+                    stall_slot = s
                 elif rt == start and from_load[s] and start > t:
                     stall_is_load = True
+                    stall_slot = s
             if reads_dest and dest >= 0:
                 rt = ready[dest]
                 if rt > start:
                     start = rt
                     stall_is_load = from_load[dest]
+                    stall_slot = dest
             if start > t:
                 if stall_is_load:
                     m.load_interlock_cycles += start - t
+                    if observing:
+                        src_pc = producer_pc[stall_slot]
+                        sp_load_intlk[src_pc] = (
+                            sp_load_intlk.get(src_pc, 0) + start - t)
                 else:
                     m.fixed_interlock_cycles += start - t
+                    if observing:
+                        src_pc = producer_pc[stall_slot]
+                        sp_fixed_intlk[src_pc] = (
+                            sp_fixed_intlk.get(src_pc, 0) + start - t)
                 t = start
                 slots_left = width
                 mem_left = mem_ports
@@ -297,12 +335,22 @@ class Simulator:
                     if stall:
                         m.mshr_stall_cycles += stall
                         m.load_interlock_cycles += stall
+                        if observing:
+                            sp_mshr[pc] = sp_mshr.get(pc, 0) + stall
+                            sp_load_intlk[pc] = (
+                                sp_load_intlk.get(pc, 0) + stall)
                         t += stall
                         slots_left = width
                         mem_left = mem_ports
                     regs[dest] = memory[addr >> 3]
                     ready[dest] = t + lat
                     from_load[dest] = True
+                    if observing:
+                        producer_pc[dest] = pc
+                        if lat <= l1_hit_latency:
+                            sp_hits[pc] = sp_hits.get(pc, 0) + 1
+                        else:
+                            sp_misses[pc] = sp_misses.get(pc, 0) + 1
                     if is_spill:
                         m.spill_loads += 1
                 else:                            # stores
@@ -326,6 +374,8 @@ class Simulator:
                 regs[dest] = imm
                 ready[dest] = t + 1
                 from_load[dest] = False
+                if observing:
+                    producer_pc[dest] = pc
                 slots_left -= 1
                 if slots_left == 0:
                     t += 1
@@ -441,6 +491,8 @@ class Simulator:
                 regs[dest] = value
                 ready[dest] = t + latency
                 from_load[dest] = False
+                if observing:
+                    producer_pc[dest] = pc
                 slots_left -= 1
                 if slots_left == 0:
                     t += 1
@@ -466,6 +518,8 @@ class Simulator:
         m.itlb_misses = self.itlb.misses
         m.branch_mispredicts = self.bpred.mispredicts
         self.run_seconds = time.perf_counter() - wall_start
+        if os.environ.get("REPRO_VALIDATE_METRICS") == "1":
+            m.validate(issue_width=width)
         return m
 
     # ------------------------------------------------------ memory timing

@@ -1,0 +1,131 @@
+"""The single observability switch: :class:`Observer`.
+
+Every layer of the pipeline (frontend driver, scheduler, register
+allocator, simulator, experiment harness) accepts an observer and
+calls it unconditionally; the base class is a no-op whose ``span()``
+returns one shared, reusable null context manager, so the disabled
+path costs a couple of attribute lookups per *compilation phase* and
+exactly one boolean test per *simulated run* — generated code, cycle
+counts and cache fingerprints are untouched.
+
+:class:`TracingObserver` is the real thing: it owns a
+:class:`~repro.obs.trace.TraceRecorder`, a
+:class:`~repro.obs.provenance.ScheduleProvenance`, and one
+:class:`~repro.obs.stall.StallProfile` per simulated grid point.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from .provenance import ScheduleProvenance
+from .stall import StallProfile
+from .trace import TraceRecorder
+
+
+class _NullSpan:
+    """Reusable no-op span/context manager (one shared instance)."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Observer:
+    """No-op observability sink; the default everywhere."""
+
+    enabled: bool = False
+    trace: Optional[TraceRecorder] = None
+    provenance: Optional[ScheduleProvenance] = None
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def stall_profile(self, benchmark: str, scheduler: str = "",
+                      config: str = "") -> Optional[StallProfile]:
+        """Profile to fill for one simulated run (None = don't)."""
+        return None
+
+
+#: Shared default: observability off.
+NULL_OBSERVER = Observer()
+
+
+class TracingObserver(Observer):
+    """Records spans, stall profiles and schedule provenance."""
+
+    enabled = True
+
+    def __init__(self, stalls: bool = True, provenance: bool = True,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.trace = TraceRecorder(clock)
+        self.provenance = ScheduleProvenance() if provenance else None
+        self._record_stalls = stalls
+        #: "bench/scheduler/config" -> profile, insertion-ordered.
+        self.stall_profiles: dict[str, StallProfile] = {}
+
+    # ------------------------------------------------------------- spans
+    def span(self, name: str, **attrs):
+        return self.trace.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        self.trace.event(name, **attrs)
+
+    def annotate(self, **attrs) -> None:
+        self.trace.annotate(**attrs)
+
+    # ------------------------------------------------------------ stalls
+    def stall_profile(self, benchmark: str, scheduler: str = "",
+                      config: str = "") -> Optional[StallProfile]:
+        if not self._record_stalls:
+            return None
+        key = "/".join(p for p in (benchmark, scheduler, config) if p)
+        profile = self.stall_profiles.get(key)
+        if profile is None:
+            profile = StallProfile()
+            self.stall_profiles[key] = profile
+        return profile
+
+    # ------------------------------------------------------------ export
+    def summary(self, top: int = 5) -> dict:
+        """Compact JSON aggregate (embedded in run manifests)."""
+        out: dict = {"trace": self.trace.summary()}
+        if self.stall_profiles:
+            out["stalls"] = {key: profile.to_json(top=top)
+                             for key, profile in
+                             self.stall_profiles.items()}
+        if self.provenance is not None and len(self.provenance):
+            out["provenance"] = {
+                "loads": len(self.provenance),
+                "deviating_loads": len(
+                    self.provenance.balanced_deviations()),
+            }
+        return out
+
+    def write(self, prefix: str | Path) -> dict[str, Path]:
+        """Write ``<prefix>.jsonl`` + ``<prefix>.chrome.json``."""
+        prefix = Path(prefix)
+        return {
+            "jsonl": self.trace.write_jsonl(
+                prefix.with_name(prefix.name + ".jsonl")),
+            "chrome": self.trace.write_chrome_trace(
+                prefix.with_name(prefix.name + ".chrome.json")),
+        }

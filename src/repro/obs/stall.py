@@ -1,0 +1,111 @@
+"""Cycle-level stall attribution: who owns each interlock cycle.
+
+The simulator's aggregate :class:`~repro.machine.metrics.Metrics`
+counters say *how many* cycles were lost to load interlocks; a
+:class:`StallProfile` says *which static load site* lost them.  The
+simulator fills one (when given — the default is ``None`` and costs
+nothing) by
+
+* counting executions per PC (the issue histogram);
+* attributing every operand-interlock cycle to the *producer* PC of
+  the stalling operand, split load vs. fixed-latency exactly like the
+  aggregate counters, so ``sum(load_interlock.values()) ==
+  Metrics.load_interlock_cycles`` holds to the cycle;
+* per-load-site hit/miss counts and MSHR-full stall cycles.
+
+``hot_loads`` ranks static load sites by attributed interlock cycles —
+the per-instruction decomposition of the paper's "loads stall 15–16%
+of cycles under traditional vs. 5–7% under balanced" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class StallProfile:
+    """Per-PC counters for one simulated run (plain dicts: hot path)."""
+
+    __slots__ = ("exec_counts", "load_interlock", "fixed_interlock",
+                 "load_hits", "load_misses", "mshr_stalls")
+
+    def __init__(self) -> None:
+        #: pc -> dynamic executions of that instruction.
+        self.exec_counts: dict[int, int] = {}
+        #: producer load pc -> interlock cycles charged to it.
+        self.load_interlock: dict[int, int] = {}
+        #: producer pc (fixed-latency op) -> interlock cycles.
+        self.fixed_interlock: dict[int, int] = {}
+        #: load pc -> L1 hits / misses (a dTLB-miss hit counts as miss).
+        self.load_hits: dict[int, int] = {}
+        self.load_misses: dict[int, int] = {}
+        #: load pc -> cycles stalled at issue waiting for a free MSHR.
+        self.mshr_stalls: dict[int, int] = {}
+
+    # ----------------------------------------------------------- queries
+    @property
+    def total_load_interlock(self) -> int:
+        return sum(self.load_interlock.values())
+
+    @property
+    def total_fixed_interlock(self) -> int:
+        return sum(self.fixed_interlock.values())
+
+    def hot_loads(self, n: int = 10) -> list[dict]:
+        """Top-*n* static load sites by attributed interlock cycles."""
+        rows = []
+        for pc, cycles in self.load_interlock.items():
+            rows.append({
+                "pc": pc,
+                "interlock_cycles": cycles,
+                "executions": self.exec_counts.get(pc, 0),
+                "hits": self.load_hits.get(pc, 0),
+                "misses": self.load_misses.get(pc, 0),
+                "mshr_stall_cycles": self.mshr_stalls.get(pc, 0),
+            })
+        rows.sort(key=lambda r: (-r["interlock_cycles"], r["pc"]))
+        return rows[:n]
+
+    def format_hot_loads(self, program=None, n: int = 10,
+                         total_cycles: Optional[int] = None) -> str:
+        """Render the top-*n* table; *program* adds disassembly/labels."""
+        block_of = {}
+        if program is not None:
+            for label, index in sorted(program.labels.items(),
+                                       key=lambda kv: kv[1]):
+                block_of[index] = label
+        header = (f"{'pc':>6} {'block':<12} {'execs':>9} {'miss%':>6} "
+                  f"{'mshr':>7} {'interlock':>10} {'share':>7}  instr")
+        lines = [header, "-" * len(header)]
+        total = total_cycles or 0
+        current_block = ""
+        for row in self.hot_loads(n):
+            pc = row["pc"]
+            if block_of:
+                current_block = ""
+                for index in sorted(block_of):
+                    if index <= pc:
+                        current_block = block_of[index]
+                    else:
+                        break
+            accesses = row["hits"] + row["misses"]
+            miss_pct = (100.0 * row["misses"] / accesses
+                        if accesses else 0.0)
+            share = (100.0 * row["interlock_cycles"] / total
+                     if total else 0.0)
+            text = ""
+            if program is not None and pc < len(program.instructions):
+                text = program.instructions[pc].format()
+            lines.append(
+                f"{pc:>6} {current_block:<12} {row['executions']:>9} "
+                f"{miss_pct:>5.1f}% {row['mshr_stall_cycles']:>7} "
+                f"{row['interlock_cycles']:>10} {share:>6.1f}%  {text}")
+        return "\n".join(lines)
+
+    def to_json(self, top: int = 10) -> dict:
+        return {
+            "total_load_interlock": self.total_load_interlock,
+            "total_fixed_interlock": self.total_fixed_interlock,
+            "static_load_sites": len(self.load_interlock),
+            "hot_loads": self.hot_loads(top),
+        }

@@ -1,0 +1,179 @@
+"""Span-based trace recorder with JSONL and Chrome-trace export.
+
+A :class:`TraceRecorder` collects nested, wall-clock-timed *spans*
+(one per compiler pass, pipeline phase, or grid point) and point
+*events*.  Spans carry free-form JSON-serializable attributes — the
+harness uses them for IR deltas (instruction counts, DAG edges, loads,
+blocks) so a trace answers "which pass created or killed the
+parallelism" without re-running the compiler.
+
+Two export formats:
+
+* ``write_jsonl`` — one JSON object per line (``{"type": "span"|
+  "event", ...}``), greppable and diffable;
+* ``write_chrome_trace`` — the Chrome trace-event format (a JSON
+  object with a ``traceEvents`` list of ``ph: "X"`` complete events),
+  loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.
+
+The recorder never touches global state and takes an injectable clock
+so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+
+class Span:
+    """One completed (or open) trace span; attributes live in ``args``."""
+
+    __slots__ = ("name", "start_us", "dur_us", "depth", "args")
+
+    def __init__(self, name: str, start_us: float, depth: int,
+                 args: dict) -> None:
+        self.name = name
+        self.start_us = start_us
+        self.dur_us: Optional[float] = None    # None while still open
+        self.depth = depth
+        self.args = args
+
+    def annotate(self, **attrs) -> None:
+        """Merge *attrs* into the span, summing repeated numeric keys.
+
+        Summing lets many sub-steps (e.g. per-block DAG builds)
+        accumulate one aggregate on their enclosing phase span.
+        """
+        for key, value in attrs.items():
+            old = self.args.get(key)
+            if isinstance(old, (int, float)) and isinstance(
+                    value, (int, float)) and not isinstance(
+                    old, bool) and not isinstance(value, bool):
+                self.args[key] = old + value
+            else:
+                self.args[key] = value
+
+    def to_json(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "ts_us": round(self.start_us, 3),
+            "dur_us": round(self.dur_us or 0.0, 3),
+            "depth": self.depth,
+            "args": self.args,
+        }
+
+
+class TraceRecorder:
+    """Collects spans and events relative to its construction time."""
+
+    def __init__(self,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self.spans: list[Span] = []      # completed, in completion order
+        self.events: list[dict] = []
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------ recording
+    def _now_us(self) -> float:
+        return (self._clock() - self._t0) * 1e6
+
+    @property
+    def current(self) -> Optional[Span]:
+        """Innermost open span (None outside any ``span()`` block)."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        sp = Span(name, self._now_us(), len(self._stack), dict(attrs))
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.dur_us = self._now_us() - sp.start_us
+            self._stack.pop()
+            self.spans.append(sp)
+
+    def event(self, name: str, **attrs) -> None:
+        self.events.append({
+            "type": "event",
+            "name": name,
+            "ts_us": round(self._now_us(), 3),
+            "depth": len(self._stack),
+            "args": attrs,
+        })
+
+    def annotate(self, **attrs) -> None:
+        """Annotate the innermost open span (no-op outside spans)."""
+        sp = self.current
+        if sp is not None:
+            sp.annotate(**attrs)
+
+    # -------------------------------------------------------------- export
+    def records(self) -> list[dict]:
+        """All spans + events as JSON dicts, sorted by start time."""
+        rows = [sp.to_json() for sp in self.spans]
+        rows.extend(self.events)
+        rows.sort(key=lambda r: r["ts_us"])
+        return rows
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for row in self.records():
+                handle.write(json.dumps(row) + "\n")
+        return path
+
+    def chrome_trace(self) -> dict:
+        """Chrome trace-event JSON object (Perfetto-loadable)."""
+        trace_events: list[dict] = []
+        for sp in sorted(self.spans, key=lambda s: s.start_us):
+            trace_events.append({
+                "name": sp.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(sp.start_us, 3),
+                "dur": round(sp.dur_us or 0.0, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": sp.args,
+            })
+        for ev in self.events:
+            trace_events.append({
+                "name": ev["name"],
+                "cat": "repro",
+                "ph": "i",
+                "s": "t",
+                "ts": ev["ts_us"],
+                "pid": 1,
+                "tid": 1,
+                "args": ev["args"],
+            })
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.chrome_trace()))
+        return path
+
+    def summary(self) -> dict:
+        """Compact aggregate for run manifests."""
+        by_name: dict[str, dict] = {}
+        for sp in self.spans:
+            entry = by_name.setdefault(sp.name, {"count": 0, "us": 0.0})
+            entry["count"] += 1
+            entry["us"] += sp.dur_us or 0.0
+        return {
+            "spans": len(self.spans),
+            "events": len(self.events),
+            "by_name": {name: {"count": e["count"],
+                               "us": round(e["us"], 1)}
+                        for name, e in sorted(by_name.items())},
+        }

@@ -45,6 +45,16 @@ class WeightModel:
     def weights(self, dag: Dag) -> list[float]:
         raise NotImplementedError
 
+    def weights_detailed(self, dag: Dag) -> tuple[list[float],
+                                                  dict[int, int]]:
+        """Weights plus per-load provenance detail.
+
+        The detail dict maps each *balanced* load node to the number
+        of independent contributor instructions its weight was derived
+        from; models without a balancing notion return an empty dict.
+        """
+        return self.weights(dag), {}
+
 
 class TraditionalWeights(WeightModel):
     """Fixed, architecturally optimistic weights (blocking assumption)."""
@@ -93,10 +103,22 @@ class BalancedWeights(WeightModel):
         return True
 
     def weights(self, dag: Dag) -> list[float]:
+        return self._weights(dag, None)
+
+    def weights_detailed(self, dag: Dag) -> tuple[list[float],
+                                                  dict[int, int]]:
+        detail: dict[int, int] = {}
+        return self._weights(dag, detail), detail
+
+    def _weights(self, dag: Dag,
+                 detail: dict[int, int] | None) -> list[float]:
         table = self.config.op_latency
         result = [float(table[ins.op]) for ins in dag.instrs]
         loads = [i for i, ins in enumerate(dag.instrs)
                  if self._in_balance_set(ins)]
+        if detail is not None:
+            for node in loads:
+                detail[node] = 0
         if not loads:
             return result
 
@@ -129,6 +151,12 @@ class BalancedWeights(WeightModel):
             indep_mask = load_mask_bits & ~related
             if not indep_mask:
                 continue
+            if detail is not None:
+                bits = indep_mask
+                while bits:
+                    low = bits & -bits
+                    detail[low.bit_length() - 1] += 1
+                    bits ^= low
             if not self.component_sharing:
                 count = bin(indep_mask).count("1")
                 share = 1.0 / count

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Every simulation in the suite re-checks the Metrics invariants
+# (counter accounting bugs fail loudly instead of skewing tables).
+os.environ.setdefault("REPRO_VALIDATE_METRICS", "1")
 
 from repro.frontend import frontend
 from repro.harness.compile import Options, compile_source

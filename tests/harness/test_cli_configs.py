@@ -1,10 +1,14 @@
-"""``--configs`` / ``REPRO_CONFIGS`` filtering on the CLI."""
+"""``--configs`` / ``REPRO_CONFIGS`` / ``--jobs`` CLI hygiene.
+
+Bad inputs must exit non-zero with a one-line error, never a
+traceback; the message must name the offending value."""
 
 import argparse
+import os
 
 import pytest
 
-from repro.__main__ import _resolve_configs, main
+from repro.__main__ import _resolve_configs, _resolve_jobs, main
 
 
 def _args(configs):
@@ -63,6 +67,80 @@ def test_tables_skips_uncovered_tables(monkeypatch, capsys):
     assert "Table 1" in captured.out
     assert "Table 4" not in captured.out
     assert "skipping table(s) [4]" in captured.err
+
+
+def test_resolve_jobs_values(monkeypatch):
+    assert _resolve_jobs("4") == 4
+    assert _resolve_jobs(2) == 2
+    assert _resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+@pytest.mark.parametrize("bad", ["abc", "1.5", "", None])
+def test_resolve_jobs_rejects_non_integers(bad):
+    with pytest.raises(SystemExit) as excinfo:
+        _resolve_jobs(bad)
+    message = str(excinfo.value.code)
+    assert "invalid --jobs/REPRO_JOBS" in message
+    assert repr(bad) in message
+    assert "\n" not in message
+
+
+def test_resolve_jobs_rejects_negative():
+    with pytest.raises(SystemExit, match="must be >= 0"):
+        _resolve_jobs(-2)
+
+
+def test_bench_bad_jobs_flag_exits_with_one_liner(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "ora", "--configs", "base", "--jobs", "abc"])
+    assert "invalid --jobs/REPRO_JOBS value 'abc'" in \
+        str(excinfo.value.code)
+
+
+def test_bench_bad_jobs_env_exits_with_one_liner(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "lots")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "ora", "--configs", "base"])
+    assert "invalid --jobs/REPRO_JOBS value 'lots'" in \
+        str(excinfo.value.code)
+
+
+def test_bad_configs_flag_exits_with_one_liner(monkeypatch):
+    monkeypatch.delenv("REPRO_CONFIGS", raising=False)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "ora", "--configs", "nope"])
+    message = str(excinfo.value.code)
+    assert "unknown config(s): nope" in message
+    assert "\n" not in message
+
+
+def test_bad_configs_env_exits_with_one_liner(monkeypatch):
+    monkeypatch.setenv("REPRO_CONFIGS", "bogus,base")
+    with pytest.raises(SystemExit, match="unknown config"):
+        main(["bench", "ora"])
+
+
+def test_profile_unknown_benchmark_exits_with_one_liner():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["profile", "not-a-benchmark"])
+    message = str(excinfo.value.code)
+    assert "unknown benchmark 'not-a-benchmark'" in message
+
+
+def test_obs_diff_missing_file_exits_with_one_liner(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["obs-diff", str(tmp_path / "a.json"),
+              str(tmp_path / "b.json")])
+    assert str(excinfo.value.code).startswith("repro obs-diff:")
+
+
+def test_obs_diff_bad_json_exits_with_one_liner(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["obs-diff", str(bad), str(bad)])
+    assert str(excinfo.value.code).startswith("repro obs-diff:")
 
 
 def test_compile_swp_flag(tmp_path, capsys):

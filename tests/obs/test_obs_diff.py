@@ -1,0 +1,118 @@
+"""Manifest diffing: regression detection between two runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import diff_manifest_files, diff_manifests
+from repro.obs.diff import MIN_INTERLOCK_DELTA
+
+
+def _manifest(points):
+    runs = []
+    for (bench, sched, config, cycles, interlock) in points:
+        runs.append({
+            "benchmark": bench, "scheduler": sched, "config": config,
+            "cached": False, "total_cycles": cycles,
+            "load_interlock_cycles": interlock,
+        })
+    return {"version": 2, "runs": runs}
+
+
+BASE = _manifest([
+    ("ear", "balanced", "base", 100_000, 10_000),
+    ("ear", "traditional", "base", 120_000, 20_000),
+    ("ora", "balanced", "base", 50_000, 500),
+])
+
+
+def test_identical_manifests_are_ok():
+    result = diff_manifests(BASE, BASE, threshold=0.02)
+    assert result.ok
+    assert len(result.deltas) == 3
+    assert "no regressions" in result.format()
+
+
+def test_cycle_regression_flagged():
+    new = _manifest([
+        ("ear", "balanced", "base", 103_000, 10_000),   # +3%
+        ("ear", "traditional", "base", 120_000, 20_000),
+        ("ora", "balanced", "base", 50_000, 500),
+    ])
+    result = diff_manifests(BASE, new, threshold=0.02)
+    assert not result.ok
+    (delta, reasons), = result.regressed
+    assert delta.key == "ear/balanced/base"
+    assert "cycles" in reasons[0]
+    assert "REGRESSED" in result.format()
+
+
+def test_improvement_and_within_threshold_ok():
+    new = _manifest([
+        ("ear", "balanced", "base", 95_000, 9_000),     # improvement
+        ("ear", "traditional", "base", 121_000, 20_000),  # +0.8%
+        ("ora", "balanced", "base", 50_000, 500),
+    ])
+    assert diff_manifests(BASE, new, threshold=0.02).ok
+
+
+def test_interlock_regression_flagged_above_min_delta():
+    worse = 10_000 + max(int(10_000 * 0.05), MIN_INTERLOCK_DELTA)
+    new = _manifest([
+        ("ear", "balanced", "base", 100_000, worse),
+        ("ear", "traditional", "base", 120_000, 20_000),
+        ("ora", "balanced", "base", 50_000, 500),
+    ])
+    result = diff_manifests(BASE, new, threshold=0.02)
+    assert not result.ok
+    (_, reasons), = result.regressed
+    assert "load interlocks" in reasons[0]
+
+
+def test_tiny_absolute_interlock_delta_ignored():
+    # +4% relative but only +20 absolute cycles: below the floor.
+    new = _manifest([
+        ("ear", "balanced", "base", 100_000, 10_000),
+        ("ear", "traditional", "base", 120_000, 20_000),
+        ("ora", "balanced", "base", 50_000, 520),
+    ])
+    assert diff_manifests(BASE, new, threshold=0.02).ok
+
+
+def test_missing_and_new_points_reported_not_fatal():
+    new = _manifest([
+        ("ear", "balanced", "base", 100_000, 10_000),
+        ("alvinn", "balanced", "base", 70_000, 7_000),
+    ])
+    result = diff_manifests(BASE, new, threshold=0.02)
+    assert result.ok
+    assert set(result.only_base) == {"ear/traditional/base",
+                                     "ora/balanced/base"}
+    assert result.only_new == ["alvinn/balanced/base"]
+    assert "MISSING" in result.format()
+    assert "NEW" in result.format()
+
+
+def test_old_manifests_without_interlock_field_compare_cycles_only():
+    base = {"version": 1, "runs": [{
+        "benchmark": "ear", "scheduler": "balanced", "config": "base",
+        "cached": True, "total_cycles": 100_000}]}
+    result = diff_manifests(base, BASE, threshold=0.02)
+    assert result.ok
+    assert result.deltas[0].interlock_delta is None
+
+
+def test_diff_manifest_files(tmp_path):
+    base_path = tmp_path / "base.json"
+    new_path = tmp_path / "new.json"
+    base_path.write_text(json.dumps(BASE))
+    new_path.write_text(json.dumps(BASE))
+    assert diff_manifest_files(base_path, new_path).ok
+    with pytest.raises(OSError):
+        diff_manifest_files(tmp_path / "missing.json", new_path)
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError):
+        diff_manifest_files(bad, new_path)

@@ -1,0 +1,97 @@
+"""TraceRecorder: span nesting, annotation, JSONL + Chrome export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import TraceRecorder
+
+
+class FakeClock:
+    """Deterministic clock: advances by `step` seconds per reading."""
+
+    def __init__(self, step: float = 0.001) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_span_nesting_and_depth():
+    rec = TraceRecorder(clock=FakeClock())
+    with rec.span("outer"):
+        with rec.span("inner", key=1):
+            pass
+    assert [s.name for s in rec.spans] == ["inner", "outer"]
+    by_name = {s.name: s for s in rec.spans}
+    assert by_name["outer"].depth == 0
+    assert by_name["inner"].depth == 1
+    # Durations are positive and the inner span is contained.
+    outer, inner = by_name["outer"], by_name["inner"]
+    assert inner.start_us >= outer.start_us
+    assert inner.start_us + inner.dur_us <= \
+        outer.start_us + outer.dur_us
+
+
+def test_annotate_sums_numeric_and_replaces_other():
+    rec = TraceRecorder(clock=FakeClock())
+    with rec.span("phase") as sp:
+        rec.annotate(blocks=2, label="a")
+        rec.annotate(blocks=3, label="b")
+    assert sp.args == {"blocks": 5, "label": "b"}
+
+
+def test_annotate_outside_span_is_noop():
+    rec = TraceRecorder(clock=FakeClock())
+    rec.annotate(ignored=1)     # must not raise
+    assert rec.current is None
+
+
+def test_jsonl_roundtrip(tmp_path):
+    rec = TraceRecorder(clock=FakeClock())
+    with rec.span("compile", benchmark="ear"):
+        rec.event("cache-miss", line=3)
+    path = rec.write_jsonl(tmp_path / "trace.jsonl")
+    rows = [json.loads(line) for line in
+            path.read_text().splitlines()]
+    assert {row["type"] for row in rows} == {"span", "event"}
+    span = next(r for r in rows if r["type"] == "span")
+    assert span["name"] == "compile"
+    assert span["args"] == {"benchmark": "ear"}
+    assert span["dur_us"] > 0
+
+
+def test_chrome_trace_is_valid(tmp_path):
+    rec = TraceRecorder(clock=FakeClock())
+    with rec.span("a"):
+        with rec.span("b"):
+            pass
+        rec.event("marker")
+    path = rec.write_chrome_trace(tmp_path / "trace.chrome.json")
+    data = json.loads(path.read_text())
+    events = data["traceEvents"]
+    assert len(events) == 3
+    for ev in events:
+        assert ev["ph"] in ("X", "i")
+        assert ev["ts"] >= 0
+        assert ev["pid"] == 1 and ev["tid"] == 1
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+    # Complete events sorted by start time.
+    complete = [ev for ev in events if ev["ph"] == "X"]
+    assert [ev["ts"] for ev in complete] == \
+        sorted(ev["ts"] for ev in complete)
+
+
+def test_summary_aggregates_by_name():
+    rec = TraceRecorder(clock=FakeClock())
+    for _ in range(3):
+        with rec.span("block"):
+            pass
+    summary = rec.summary()
+    assert summary["spans"] == 3
+    assert summary["by_name"]["block"]["count"] == 3
+    assert summary["by_name"]["block"]["us"] > 0

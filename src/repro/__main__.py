@@ -13,14 +13,18 @@ Commands:
   Perfetto-loadable trace;
 * ``obs-diff A B``   — compare two run manifests and flag cycle /
   load-interlock regressions beyond a threshold;
+* ``check [BENCH]``  — static analysis: validated compiles plus lints
+  over benchmarks; exits non-zero iff an error diagnostic is found;
 * ``workloads``      — list the 17 benchmarks.
 
 Common compiler flags: ``--scheduler {balanced,traditional,none}``,
 ``--unroll {0,4,8}``, ``--trace``, ``--locality``, ``--swp``,
 ``--issue-width N``.  ``bench``/``tables``/``report`` accept
-``--configs a,b,c`` (or ``REPRO_CONFIGS``) to restrict the grid and
+``--configs a,b,c`` (or ``REPRO_CONFIGS``) to restrict the grid,
 ``--trace [PREFIX]`` to record a pipeline trace (JSONL + Chrome
-trace-event files, written at ``PREFIX.jsonl`` / ``PREFIX.chrome.json``).
+trace-event files, written at ``PREFIX.jsonl`` / ``PREFIX.chrome.json``),
+and ``--validate-ir`` (or ``REPRO_VALIDATE_IR=1``) to re-check the IR
+invariants at every pass boundary of every compile.
 """
 
 from __future__ import annotations
@@ -112,6 +116,20 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
              "serial execution")
 
 
+def _add_validate_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--validate-ir", action="store_true",
+        help="validate IR invariants at every pass boundary of every "
+             "compile (equivalent to REPRO_VALIDATE_IR=1)")
+
+
+def _apply_validate_flag(args: argparse.Namespace) -> None:
+    # Exported through the environment so forked grid workers
+    # (harness.experiment) inherit validated compiles too.
+    if getattr(args, "validate_ir", False):
+        os.environ["REPRO_VALIDATE_IR"] = "1"
+
+
 def _make_observer(args: argparse.Namespace) -> Observer:
     if getattr(args, "trace", None) is None:
         return NULL_OBSERVER
@@ -174,6 +192,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    _apply_validate_flag(args)
     observer = _make_observer(args)
     runner = ExperimentRunner(verbose=True,
                               jobs=_resolve_jobs(args.jobs),
@@ -202,6 +221,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
+    _apply_validate_flag(args)
     observer = _make_observer(args)
     runner = ExperimentRunner(verbose=True,
                               jobs=_resolve_jobs(args.jobs),
@@ -232,6 +252,7 @@ def cmd_tables(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from .harness.report import build_report, write_report
 
+    _apply_validate_flag(args)
     observer = _make_observer(args)
     runner = ExperimentRunner(verbose=True,
                               jobs=_resolve_jobs(args.jobs),
@@ -314,6 +335,15 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from .check.cli import run_check
+
+    return run_check(names=args.names or None,
+                     configs=_resolve_configs(args),
+                     scheduler=args.scheduler,
+                     lint=not args.no_lint)
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     for name in WORKLOAD_ORDER:
         workload = WORKLOADS[name]
@@ -349,6 +379,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_configs_flag(p_bench, "base lu4 lu8")
     _add_jobs_flag(p_bench)
     _add_trace_flag(p_bench)
+    _add_validate_flag(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -357,6 +388,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_configs_flag(p_tables, "all")
     _add_jobs_flag(p_tables)
     _add_trace_flag(p_tables)
+    _add_validate_flag(p_tables)
     p_tables.set_defaults(fn=cmd_tables)
 
     p_report = sub.add_parser("report",
@@ -365,6 +397,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_configs_flag(p_report, "all")
     _add_jobs_flag(p_report)
     _add_trace_flag(p_report)
+    _add_validate_flag(p_report)
     p_report.set_defaults(fn=cmd_report)
 
     p_profile = sub.add_parser(
@@ -395,6 +428,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="relative regression threshold "
                              "(default: 0.02 = 2%%)")
     p_diff.set_defaults(fn=cmd_obs_diff)
+
+    p_check = sub.add_parser(
+        "check",
+        help="static analysis: validated compiles + lints")
+    p_check.add_argument("names", nargs="*",
+                         help="benchmark names (default: all)")
+    p_check.add_argument("--scheduler", default="balanced",
+                         choices=("balanced", "traditional"))
+    p_check.add_argument("--no-lint", action="store_true",
+                         help="errors only: skip warning/note lints")
+    _add_configs_flag(p_check, "base")
+    p_check.set_defaults(fn=cmd_check)
 
     p_work = sub.add_parser("workloads", help="list the workload")
     p_work.set_defaults(fn=cmd_workloads)

@@ -1,0 +1,185 @@
+"""Lint diagnostics: source- and IR-level code-quality findings.
+
+Lints never abort a compilation -- they are warnings and notes
+surfaced by ``repro check`` (and collected by an enabled
+:class:`~repro.check.boundary.PipelineValidator` in lint mode).
+
+Source-level lints run on the analyzed AST, *before* the loop
+transforms clone bodies (so each finding is reported once), and carry
+the :class:`~repro.frontend.errors.SourceLocation` of the offending
+construct:
+
+* ``unused-variable`` (warning) -- a local variable or parameter is
+  declared but never referenced;
+* ``dead-store`` (warning) -- a local variable is assigned but its
+  value is never read anywhere in the function; every assignment site
+  is reported.
+
+IR-level lints run on the lowered CFG (no source positions survive
+lowering):
+
+* ``unreachable-block`` (warning) -- a block no path from the entry
+  reaches;
+* ``store-never-loaded`` (note) -- a data symbol is stored to but
+  never loaded; informational because result arrays of a kernel are
+  legitimately write-only inside the program.
+"""
+
+from __future__ import annotations
+
+from ..frontend import ast
+from ..ir import Cfg
+from .diagnostics import NOTE, WARNING, Diagnostic
+
+
+# ------------------------------------------------------------- AST walks
+def _walk_exprs(node):
+    """Yield every expression node under *node* (statement or expr)."""
+    if node is None:
+        return
+    if isinstance(node, ast.Expr):
+        yield node
+        if isinstance(node, ast.BinOp):
+            yield from _walk_exprs(node.left)
+            yield from _walk_exprs(node.right)
+        elif isinstance(node, (ast.UnaryOp, ast.Cast)):
+            yield from _walk_exprs(node.operand)
+        elif isinstance(node, ast.ArrayIndex):
+            for index in node.indices:
+                yield from _walk_exprs(index)
+        elif isinstance(node, ast.Call):
+            for arg in node.args:
+                yield from _walk_exprs(arg)
+        elif isinstance(node, ast.Select):
+            for sub in (node.cond, node.if_true, node.if_false):
+                yield from _walk_exprs(sub)
+        return
+    # Statements.
+    if isinstance(node, ast.Block):
+        for stmt in node.statements:
+            yield from _walk_exprs(stmt)
+    elif isinstance(node, ast.Assign):
+        # The *target* of a scalar assignment is a write, not a read;
+        # array-index targets read their subscripts.
+        if isinstance(node.target, ast.ArrayIndex):
+            for index in node.target.indices:
+                yield from _walk_exprs(index)
+        yield from _walk_exprs(node.value)
+    elif isinstance(node, ast.If):
+        yield from _walk_exprs(node.cond)
+        yield from _walk_exprs(node.then_body)
+        yield from _walk_exprs(node.else_body)
+    elif isinstance(node, ast.While):
+        yield from _walk_exprs(node.cond)
+        yield from _walk_exprs(node.body)
+    elif isinstance(node, ast.For):
+        yield from _walk_exprs(node.init)
+        yield from _walk_exprs(node.cond)
+        yield from _walk_exprs(node.step)
+        yield from _walk_exprs(node.body)
+    elif isinstance(node, ast.Return):
+        yield from _walk_exprs(node.value)
+    elif isinstance(node, ast.ExprStmt):
+        yield from _walk_exprs(node.expr)
+    elif isinstance(node, ast.VarDecl):
+        yield from _walk_exprs(node.init)
+
+
+def _walk_stmts(node):
+    """Yield every statement node under *node*, including itself."""
+    if node is None:
+        return
+    yield node
+    if isinstance(node, ast.Block):
+        for stmt in node.statements:
+            yield from _walk_stmts(stmt)
+    elif isinstance(node, ast.If):
+        yield from _walk_stmts(node.then_body)
+        yield from _walk_stmts(node.else_body)
+    elif isinstance(node, (ast.While, ast.For)):
+        yield from _walk_stmts(node.body)
+
+
+def lint_ast(program: ast.ProgramAST) -> list[Diagnostic]:
+    """Source-level lints over an analyzed program."""
+    diags: list[Diagnostic] = []
+    for func in program.functions:
+        reads: set[str] = set()
+        for expr in _walk_exprs(func.body):
+            if isinstance(expr, ast.Name):
+                reads.add(expr.ident)
+        declared: dict[str, ast.VarDecl] = {}
+        assigns: dict[str, list] = {}
+        for stmt in _walk_stmts(func.body):
+            if isinstance(stmt, ast.VarDecl):
+                declared[stmt.name] = stmt
+            elif isinstance(stmt, ast.Assign) and \
+                    isinstance(stmt.target, ast.Name):
+                assigns.setdefault(stmt.target.ident, []).append(stmt)
+            elif isinstance(stmt, ast.For):
+                for part in (stmt.init, stmt.step):
+                    if isinstance(part.target, ast.Name):
+                        assigns.setdefault(part.target.ident,
+                                           []).append(part)
+        for param in func.params:
+            if param.name not in reads and param.name not in assigns:
+                diags.append(Diagnostic(
+                    severity=WARNING, rule="unused-variable",
+                    message=f"parameter '{param.name}' of "
+                            f"'{func.name}' is never used",
+                    pass_name="frontend", loc=param.loc))
+        for name, decl in declared.items():
+            if name in reads:
+                continue
+            if name not in assigns:
+                diags.append(Diagnostic(
+                    severity=WARNING, rule="unused-variable",
+                    message=f"variable '{name}' is declared but never "
+                            "used", pass_name="frontend", loc=decl.loc))
+            else:
+                for site in assigns[name]:
+                    diags.append(Diagnostic(
+                        severity=WARNING, rule="dead-store",
+                        message=f"value assigned to '{name}' is never "
+                                "read", pass_name="frontend",
+                        loc=site.loc))
+    return diags
+
+
+# -------------------------------------------------------------- IR lints
+def lint_cfg(cfg: Cfg, pass_name: str = "lower") -> list[Diagnostic]:
+    """IR-level lints over a lowered CFG."""
+    diags: list[Diagnostic] = []
+    reachable: set[str] = set()
+    stack = [cfg.entry]
+    while stack:
+        label = stack.pop()
+        if label in reachable or label not in cfg.blocks:
+            continue
+        reachable.add(label)
+        stack.extend(cfg.blocks[label].successors())
+    for label in cfg.order:
+        if label not in reachable:
+            diags.append(Diagnostic(
+                severity=WARNING, rule="unreachable-block",
+                message="no path from the entry reaches this block",
+                pass_name=pass_name, block=label))
+
+    stored: dict[object, str] = {}
+    loaded: set[object] = set()
+    for block in cfg:
+        for instr in block.instrs:
+            if instr.mem is None or instr.mem.region != "data":
+                continue
+            if instr.is_store:
+                stored.setdefault(instr.mem.symbol, block.label)
+            elif instr.is_load:
+                loaded.add(instr.mem.symbol)
+    for symbol, label in stored.items():
+        if symbol not in loaded:
+            diags.append(Diagnostic(
+                severity=NOTE, rule="store-never-loaded",
+                message=f"data symbol '{symbol}' is stored but never "
+                        "loaded (write-only output?)",
+                pass_name=pass_name, block=label))
+    return diags

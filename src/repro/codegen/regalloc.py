@@ -26,8 +26,12 @@ from ..isa import Instruction, MemRef, Reg, SP
 #: scratch, r30 stack pointer, r31 zero).  Floating point: f0-f28
 #: (f29/f30 spill scratch, f31 zero).
 N_ALLOCATABLE = {"i": 28, "f": 29}
-_SCRATCH = {"i": (Reg("i", 28), Reg("i", 29)),
-            "f": (Reg("f", 29), Reg("f", 30))}
+#: Spill scratch registers per bank -- the single source of truth;
+#: the machine-code verifier (:mod:`repro.codegen.verify`) imports
+#: this table rather than mirroring the numbers.
+SPILL_SCRATCH = {"i": (Reg("i", 28), Reg("i", 29)),
+                 "f": (Reg("f", 29), Reg("f", 30))}
+_SCRATCH = SPILL_SCRATCH
 
 
 @dataclass

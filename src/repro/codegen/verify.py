@@ -18,9 +18,12 @@ they become mysterious simulation failures:
 from __future__ import annotations
 
 from ..isa import MachineProgram
+from .regalloc import SPILL_SCRATCH
 
-#: Spill scratch registers (mirrors codegen.regalloc._SCRATCH).
-_SCRATCH_NUMS = {"i": (28, 29), "f": (29, 30)}
+#: Scratch register numbers per bank, derived from the allocator's
+#: own table so the two can never drift apart.
+_SCRATCH_NUMS = {kind: tuple(reg.num for reg in regs)
+                 for kind, regs in SPILL_SCRATCH.items()}
 
 
 class VerificationError(Exception):

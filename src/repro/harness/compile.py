@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..analysis.locality import LocalityStats, analyze_locality
+from ..check import validator_from_env
 from ..codegen.lower import lower
 from ..codegen.regalloc import AllocationResult, allocate_registers
 from ..codegen.verify import verify_pipelined_kernels, verify_program
@@ -146,7 +147,8 @@ def _cfg_stats(cfg: Cfg) -> dict:
 
 def compile_source(source: str, options: Options = Options(),
                    name: str = "program",
-                   observer: Observer = NULL_OBSERVER) -> CompileResult:
+                   observer: Observer = NULL_OBSERVER,
+                   validator=None) -> CompileResult:
     """Compile *source* under *options* to an executable program.
 
     An enabled *observer* gets one nested trace span per pipeline
@@ -154,13 +156,22 @@ def compile_source(source: str, options: Options = Options(),
     (blocks/instructions/loads), plus per-load schedule provenance
     from the block scheduler.  The default observer is a no-op and
     changes nothing.
+
+    An enabled *validator* (:class:`repro.check.PipelineValidator`)
+    re-checks the IR invariants at every pass boundary and the
+    dependence DAG across every scheduler.  ``None`` resolves via
+    ``REPRO_VALIDATE_IR`` (:func:`repro.check.validator_from_env`);
+    the disabled default is a no-op and changes nothing.
     """
     options.validate()
+    if validator is None:
+        validator = validator_from_env(observer)
     phase_start = time.perf_counter()
     with observer.span("compile", benchmark=name,
                        options=options.label()):
         with observer.span("frontend"):
             program_ast = frontend(source, name)
+        validator.lint_source(program_ast)
 
         unroll_stats = None
         locality_stats = None
@@ -179,21 +190,29 @@ def compile_source(source: str, options: Options = Options(),
             cfg = lower(program_ast)
             if observer.enabled:
                 span.annotate(**_cfg_stats(cfg))
+        validator.after_pass(cfg, "lower")
 
         with observer.span("cleanups",
                            extra_opts=options.extra_opts) as span:
             if options.classic_opts:
                 fold_constants(cfg)
+                validator.after_pass(cfg, "opt.constfold")
                 propagate_copies(cfg)
+                validator.after_pass(cfg, "opt.copyprop")
                 eliminate_dead_code(cfg)
+                validator.after_pass(cfg, "opt.dce")
             if options.extra_opts:
                 from ..opt.cse import eliminate_common_subexpressions
                 from ..opt.licm import hoist_loop_invariants
 
                 eliminate_common_subexpressions(cfg)
+                validator.after_pass(cfg, "opt.cse")
                 hoist_loop_invariants(cfg)
+                validator.after_pass(cfg, "opt.licm")
                 propagate_copies(cfg)
+                validator.after_pass(cfg, "opt.copyprop")
                 eliminate_dead_code(cfg)
+                validator.after_pass(cfg, "opt.dce")
             if observer.enabled:
                 span.annotate(**_cfg_stats(cfg))
 
@@ -201,13 +220,18 @@ def compile_source(source: str, options: Options = Options(),
         model = make_weight_model(options)
         trace_stats = None
         profile = None
+        validator.before_schedule(cfg)
         with observer.span("schedule", scheduler=options.scheduler,
                            trace=options.trace) as span:
             if options.trace and model is not None:
                 profile = _collect_profile(cfg, options)
                 trace_stats = trace_schedule(cfg, profile, model)
+                validator.after_schedule(cfg, "sched.trace",
+                                         mode="trace")
             elif model is not None:
                 schedule_cfg(cfg, model, observer=observer)
+                validator.after_schedule(cfg, "sched.block",
+                                         mode="block")
             if observer.enabled:
                 span.annotate(**_cfg_stats(cfg))
         modulo_stats = None
@@ -216,6 +240,7 @@ def compile_source(source: str, options: Options = Options(),
             # the non-kernel blocks keep their balanced/traditional
             # list schedules, and the modulo scheduler reuses the same
             # weight model for its dependence latencies.
+            validator.before_swp(cfg)
             with observer.span("swp") as span:
                 modulo_stats = pipeline_loops(cfg, options.config,
                                               model)
@@ -224,12 +249,15 @@ def compile_source(source: str, options: Options = Options(),
                     span.annotate(
                         loops_attempted=modulo_stats.attempted,
                         loops_pipelined=modulo_stats.pipelined)
+            validator.after_swp(cfg, modulo_stats.kernels)
         schedule_done = time.perf_counter()
 
+        validator.before_regalloc(cfg)
         with observer.span("regalloc") as span:
             allocation = allocate_registers(cfg)
             if observer.enabled:
                 span.annotate(spill_slots=allocation.n_slots)
+        validator.after_regalloc(cfg, allocation)
         regalloc_done = time.perf_counter()
         with observer.span("linearize-verify") as span:
             program = cfg.linearize()

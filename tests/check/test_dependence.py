@@ -1,0 +1,111 @@
+"""Dependence-preservation checking across scheduler modes."""
+
+from repro.check import check_dependences, snapshot_dependences
+from repro.ir import BasicBlock, Cfg
+from repro.isa import Instruction, MemRef, Reg
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def ldi(dest, value):
+    return Instruction("LDI", dest=v(dest), imm=value)
+
+
+def mem_block() -> Cfg:
+    """base addr -> store A[i] -> load A[i] -> add: a true mem dep."""
+    cfg = Cfg(entry="entry")
+    addr = ldi(0, 0)
+    val = ldi(1, 7)
+    store = Instruction("ST", srcs=(v(1), v(0)),
+                        mem=MemRef("data", "A"))
+    load = Instruction("LD", dest=v(2), srcs=(v(0),),
+                       mem=MemRef("data", "A"))
+    use = Instruction("ADD", dest=v(3), srcs=(v(2), v(2)))
+    cfg.add_block(BasicBlock("entry", [addr, val, store, load, use],
+                             fallthrough="end"))
+    cfg.add_block(BasicBlock("end", [Instruction("HALT")]))
+    return cfg
+
+
+def rules(diags):
+    return {d.rule for d in diags}
+
+
+def test_snapshot_records_block_edges():
+    cfg = mem_block()
+    snapshot = snapshot_dependences(cfg)
+    assert set(snapshot.blocks) == {"entry", "end"}
+    assert snapshot.edge_count >= 3      # addr->store, store->load, ...
+    kinds = {kind for b in snapshot.blocks.values()
+             for _s, _d, kind in b.edges}
+    assert "mem" in kinds or "MEM" in {k.upper() for k in kinds}
+
+
+def test_identity_schedule_is_clean():
+    cfg = mem_block()
+    snapshot = snapshot_dependences(cfg)
+    assert check_dependences(cfg, snapshot, "t", mode="block") == []
+
+
+def test_legal_permutation_is_clean():
+    cfg = mem_block()
+    snapshot = snapshot_dependences(cfg)
+    instrs = cfg.block("entry").instrs
+    # Swapping the two independent producers (addr and val) is legal.
+    instrs[0], instrs[1] = instrs[1], instrs[0]
+    assert check_dependences(cfg, snapshot, "t", mode="block") == []
+
+
+def test_store_load_reorder_is_flagged():
+    cfg = mem_block()
+    snapshot = snapshot_dependences(cfg)
+    instrs = cfg.block("entry").instrs
+    instrs[2], instrs[3] = instrs[3], instrs[2]   # load before store
+    diags = check_dependences(cfg, snapshot, "t", mode="block")
+    assert "dependence-order" in rules(diags)
+
+
+def test_dropped_instruction_is_flagged():
+    cfg = mem_block()
+    snapshot = snapshot_dependences(cfg)
+    del cfg.block("entry").instrs[1]
+    diags = check_dependences(cfg, snapshot, "t", mode="block")
+    assert "schedule-permutation" in rules(diags)
+
+
+def test_foreign_instruction_is_flagged():
+    cfg = mem_block()
+    snapshot = snapshot_dependences(cfg)
+    cfg.block("entry").instrs.insert(0, ldi(9, 0))
+    diags = check_dependences(cfg, snapshot, "t", mode="block")
+    assert "schedule-permutation" in rules(diags)
+
+
+def test_block_mode_rejects_cross_block_migration():
+    cfg = mem_block()
+    snapshot = snapshot_dependences(cfg)
+    moved = cfg.block("entry").instrs.pop()       # the add
+    cfg.block("end").instrs.insert(0, moved)
+    diags = check_dependences(cfg, snapshot, "t", mode="block")
+    assert "schedule-permutation" in rules(diags)
+
+
+def test_trace_mode_tolerates_migration_and_pruning():
+    cfg = mem_block()
+    snapshot = snapshot_dependences(cfg)
+    moved = cfg.block("entry").instrs.pop()       # the add
+    cfg.block("end").instrs.insert(0, moved)
+    # Trace scheduling may migrate instructions between trace blocks
+    # and prune blocks entirely; only same-final-block order matters.
+    assert check_dependences(cfg, snapshot, "t", mode="trace") == []
+
+
+def test_trace_mode_still_catches_same_block_violations():
+    cfg = mem_block()
+    snapshot = snapshot_dependences(cfg)
+    instrs = cfg.block("entry").instrs
+    instrs[2], instrs[3] = instrs[3], instrs[2]
+    diags = check_dependences(cfg, snapshot, "t", mode="trace")
+    assert "dependence-order" in rules(diags)

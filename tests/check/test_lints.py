@@ -1,0 +1,100 @@
+"""Source- and IR-level lints, including position rendering."""
+
+from repro.check import NOTE, WARNING, lint_ast, lint_cfg
+from repro.codegen.lower import lower
+from repro.frontend import frontend
+from repro.ir import BasicBlock, Cfg
+from repro.isa import Instruction
+
+
+def lint(source: str):
+    return lint_ast(frontend(source, "lint-test"))
+
+
+def test_unused_variable_carries_declaration_position():
+    diags = lint("""array OUT[8] : int;
+func main() {
+    var used : int;
+    var never : int;
+    used = 1;
+    OUT[0] = used;
+}
+""")
+    assert len(diags) == 1
+    diag = diags[0]
+    assert diag.severity == WARNING
+    assert diag.rule == "unused-variable"
+    assert "never" in diag.message
+    # The position is the VarDecl's own, rendered line:column.
+    assert diag.loc is not None
+    assert (diag.loc.line, diag.loc.column) == (4, 5)
+    assert diag.render().startswith("4:5: warning: unused-variable:")
+
+
+def test_dead_store_reports_every_assignment_site():
+    diags = lint("""array OUT[8] : int;
+func main() {
+    var live : int;
+    var ghost : int;
+    live = 1;
+    ghost = live;
+    ghost = live + 2;
+    OUT[0] = live;
+}
+""")
+    dead = [d for d in diags if d.rule == "dead-store"]
+    assert len(dead) == 2
+    assert {(d.loc.line, d.loc.column) for d in dead} == {(6, 5), (7, 5)}
+    for d in dead:
+        assert "ghost" in d.message
+        assert d.render().split(":")[0] == str(d.loc.line)
+
+
+def test_loop_counters_and_read_variables_are_clean():
+    diags = lint("""array OUT[8] : int;
+var n : int = 8;
+func main() {
+    var i : int; var acc : int;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) {
+        acc = acc + i;
+    }
+    OUT[0] = acc;
+}
+""")
+    assert diags == []
+
+
+def test_benchmarks_are_lint_clean_of_warnings():
+    from repro.workloads import WORKLOAD_ORDER, WORKLOADS
+
+    for name in WORKLOAD_ORDER:
+        diags = lint_ast(frontend(WORKLOADS[name].source, name))
+        warnings = [d for d in diags if d.severity == WARNING]
+        assert warnings == [], (name, [str(d) for d in warnings])
+
+
+def test_unreachable_block_lint():
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [Instruction("HALT")]))
+    cfg.add_block(BasicBlock("orphan", [Instruction("HALT")]))
+    diags = lint_cfg(cfg)
+    assert [d.rule for d in diags] == ["unreachable-block"]
+    assert diags[0].block == "orphan"
+    assert diags[0].severity == WARNING
+
+
+def test_store_never_loaded_is_a_note():
+    source = """array ONLYWRITten[8] : float;
+func main() {
+    var i : int;
+    for (i = 0; i < 8; i = i + 1) {
+        ONLYWRITten[i] = float(i);
+    }
+}
+"""
+    cfg = lower(frontend(source, "wo"))
+    diags = [d for d in lint_cfg(cfg) if d.rule == "store-never-loaded"]
+    assert len(diags) == 1
+    assert diags[0].severity == NOTE
+    assert "ONLYWRITten" in diags[0].message

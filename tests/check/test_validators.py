@@ -1,0 +1,199 @@
+"""Unit tests for the per-boundary IR validators."""
+
+from repro.check import (
+    capture_intervals,
+    check_allocation,
+    check_def_before_use,
+    check_liveness_consistency,
+    check_loops,
+    check_register_discipline,
+    check_structure,
+)
+from repro.codegen.regalloc import allocate_registers
+from repro.ir import BasicBlock, Cfg
+from repro.isa import Instruction, Reg, ireg
+
+
+def v(i, kind="i"):
+    return Reg(kind, i, virtual=True)
+
+
+def ldi(dest, value):
+    return Instruction("LDI", dest=v(dest), imm=value)
+
+
+def add(dest, a, b):
+    return Instruction("ADD", dest=v(dest), srcs=(v(a), v(b)))
+
+
+def straightline() -> Cfg:
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [ldi(0, 1), ldi(1, 2),
+                                       add(2, 0, 1)],
+                             fallthrough="end"))
+    cfg.add_block(BasicBlock("end", [Instruction("HALT")]))
+    return cfg
+
+
+def rules(diags):
+    return {d.rule for d in diags}
+
+
+# ------------------------------------------------------------- structure
+def test_structure_accepts_wellformed():
+    assert check_structure(straightline(), "t") == []
+
+
+def test_structure_rejects_midblock_branch():
+    cfg = straightline()
+    cfg.block("entry").instrs.insert(
+        1, Instruction("BR", label="end"))
+    assert "cfg-structure" in rules(check_structure(cfg, "t"))
+
+
+def test_structure_rejects_unknown_successor():
+    cfg = straightline()
+    cfg.block("entry").instrs.append(
+        Instruction("BR", label=".missing"))
+    assert "cfg-structure" in rules(check_structure(cfg, "t"))
+
+
+def test_structure_rejects_fall_off_the_end():
+    cfg = straightline()
+    cfg.block("end").fallthrough = None
+    cfg.block("end").instrs.pop()       # drop the HALT
+    assert "cfg-structure" in rules(check_structure(cfg, "t"))
+
+
+def test_structure_rejects_conditional_branch_without_fallthrough():
+    # Cfg.verify() itself does not catch this shape.
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [ldi(0, 1),
+                                       Instruction("BEQ", srcs=(v(0),),
+                                                   label="end")]))
+    cfg.add_block(BasicBlock("end", [Instruction("HALT")]))
+    assert "cfg-structure" in rules(check_structure(cfg, "t"))
+
+
+def test_structure_rejects_missing_entry():
+    cfg = Cfg(entry="gone")
+    cfg.add_block(BasicBlock("entry", [Instruction("HALT")]))
+    assert "cfg-structure" in rules(check_structure(cfg, "t"))
+
+
+# ----------------------------------------------------------------- loops
+def natural_loop() -> Cfg:
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [ldi(0, 4)], fallthrough="head"))
+    cfg.add_block(BasicBlock("head", [add(0, 0, 0)],
+                             fallthrough="body"))
+    cfg.add_block(BasicBlock("body", [add(1, 0, 0),
+                                      Instruction("BNE", srcs=(v(1),),
+                                                  label="head")],
+                             fallthrough="exit"))
+    cfg.add_block(BasicBlock("exit", [Instruction("HALT")]))
+    return cfg
+
+
+def test_loops_accept_reducible():
+    assert check_loops(natural_loop(), "t") == []
+
+
+def test_loops_reject_second_entry():
+    cfg = natural_loop()
+    # A second entry straight into the loop body, bypassing the header:
+    # the retreating edge body->head no longer targets a dominator.
+    cfg.block("entry").instrs.append(
+        Instruction("BNE", srcs=(v(0),), label="body"))
+    assert check_structure(cfg, "t") == []     # still structurally fine
+    assert "irreducible-loop" in rules(check_loops(cfg, "t"))
+
+
+# ---------------------------------------------------- register discipline
+def test_discipline_virtual_rejects_physical_register():
+    cfg = straightline()
+    cfg.block("entry").instrs.append(
+        Instruction("ADD", dest=ireg(5), srcs=(ireg(5), ireg(5))))
+    diags = check_register_discipline(cfg, "t", phase="virtual")
+    assert rules(diags) == {"register-discipline"}
+    assert check_register_discipline(straightline(), "t",
+                                     phase="virtual") == []
+
+
+def test_discipline_physical_rejects_surviving_virtual():
+    cfg = straightline()
+    allocate_registers(cfg)
+    assert check_register_discipline(cfg, "t", phase="physical") == []
+    cfg.block("entry").instrs.insert(0, ldi(9, 7))
+    diags = check_register_discipline(cfg, "t", phase="physical")
+    assert rules(diags) == {"register-discipline"}
+
+
+# --------------------------------------------------------- def before use
+def test_def_before_use_accepts_straightline():
+    assert check_def_before_use(straightline(), "t") == []
+
+
+def test_def_before_use_rejects_deleted_def():
+    cfg = straightline()
+    del cfg.block("entry").instrs[1]       # ldi v1 -- still used by add
+    diags = check_def_before_use(cfg, "t")
+    assert rules(diags) == {"use-before-def"}
+    assert any("vi1" in d.message for d in diags)
+
+
+def test_def_before_use_allows_cmov_reading_dest():
+    # Predication reads the (possibly uninitialized) old destination.
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [
+        ldi(0, 1), ldi(1, 2),
+        Instruction("CMOVNE", dest=v(2), srcs=(v(0), v(1))),
+        Instruction("HALT")]))
+    assert check_def_before_use(cfg, "t") == []
+
+
+def test_def_before_use_one_path_is_enough():
+    # A def on only one path is a *may* reach: not a hard error (the
+    # lint layer owns maybe-uninitialized).
+    cfg = Cfg(entry="entry")
+    cfg.add_block(BasicBlock("entry", [ldi(0, 1),
+                                       Instruction("BEQ", srcs=(v(0),),
+                                                   label="join")],
+                             fallthrough="arm"))
+    cfg.add_block(BasicBlock("arm", [ldi(1, 2)], fallthrough="join"))
+    cfg.add_block(BasicBlock("join", [add(2, 1, 1),
+                                      Instruction("HALT")]))
+    assert check_def_before_use(cfg, "t") == []
+
+
+# --------------------------------------------------------------- liveness
+def test_liveness_consistency_clean():
+    assert check_liveness_consistency(natural_loop(), "t") == []
+
+
+# ------------------------------------------------------------- allocation
+def test_allocation_clean_on_real_allocator():
+    cfg = straightline()
+    intervals = capture_intervals(cfg)
+    allocation = allocate_registers(cfg)
+    assert check_allocation(intervals, allocation) == []
+
+
+def test_allocation_rejects_overlapping_shared_register():
+    cfg = straightline()
+    intervals = capture_intervals(cfg)
+    allocation = allocate_registers(cfg)
+    # Force v0 and v1 (both live across the add) onto one register.
+    allocation.assignment[v(1)] = allocation.assignment[v(0)]
+    diags = check_allocation(intervals, allocation)
+    assert rules(diags) == {"register-clobber"}
+
+
+def test_allocation_rejects_shared_spill_slot():
+    cfg = straightline()
+    intervals = capture_intervals(cfg)
+    allocation = allocate_registers(cfg)
+    allocation.spilled[v(0)] = 0
+    allocation.spilled[v(1)] = 0
+    diags = check_allocation(intervals, allocation)
+    assert "register-clobber" in rules(diags)

@@ -1,0 +1,29 @@
+"""The spill-scratch table has exactly one source of truth."""
+
+from repro.codegen import regalloc, verify
+from repro.codegen.regalloc import N_ALLOCATABLE, SPILL_SCRATCH
+from repro.isa import SP
+
+
+def test_verify_derives_its_numbers_from_the_allocator_table():
+    assert verify._SCRATCH_NUMS == {
+        kind: tuple(reg.num for reg in regs)
+        for kind, regs in SPILL_SCRATCH.items()}
+
+
+def test_allocator_rewrite_uses_the_same_table():
+    # The allocator's internal alias and the public export are the
+    # same object: a future edit cannot split them.
+    assert regalloc._SCRATCH is SPILL_SCRATCH
+
+
+def test_scratch_registers_are_physical_and_reserved():
+    for kind, regs in SPILL_SCRATCH.items():
+        for reg in regs:
+            assert not reg.virtual
+            assert reg.kind == kind
+            # Outside the allocatable range, and never the stack
+            # pointer or a hardwired zero.
+            assert reg.num >= N_ALLOCATABLE[kind]
+            assert reg is not SP
+            assert not reg.is_zero

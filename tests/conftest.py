@@ -9,6 +9,10 @@ import pytest
 # Every simulation in the suite re-checks the Metrics invariants
 # (counter accounting bugs fail loudly instead of skewing tables).
 os.environ.setdefault("REPRO_VALIDATE_METRICS", "1")
+# Every compile in the suite re-checks the IR invariants at each pass
+# boundary (repro.check: CFG structure, def-before-use, dependence
+# preservation across the schedulers, allocation soundness).
+os.environ.setdefault("REPRO_VALIDATE_IR", "1")
 
 from repro.frontend import frontend
 from repro.harness.compile import Options, compile_source

@@ -1,0 +1,58 @@
+"""Fast-engine bit-identity across the full Table-6 grid.
+
+For every (workload, config, scheduler) point of the paper's combined-
+optimization grid, the compiled fast engine must agree with the
+reference interpreter on cycles, the interlock split, MSHR stalls and
+every final data-symbol value.  This is the contract that lets the
+harness default to the fast engine: any drift here is a correctness
+bug in one of the two engines, never an acceptable approximation.
+
+Each workload is one test so failures localize; the grid walk shares
+compiled programs between the two engines (compile once, simulate
+twice).
+"""
+
+import pytest
+
+from repro.harness.experiment import options_for
+from repro.harness.compile import compile_source
+from repro.harness.tables import TABLE6_CONFIGS
+from repro.machine import Simulator
+from repro.workloads import WORKLOAD_ORDER, WORKLOADS
+
+GRID_CONFIGS = ("base",) + tuple(TABLE6_CONFIGS)
+
+CHECKED_FIELDS = (
+    "total_cycles", "instructions",
+    "load_interlock_cycles", "fixed_interlock_cycles",
+    "icache_stall_cycles", "branch_stall_cycles", "mshr_stall_cycles",
+    "spill_loads", "spill_stores",
+    "loads", "stores", "branches",
+    "short_int", "long_int", "short_fp", "long_fp",
+    "dtlb_misses", "itlb_misses", "branch_mispredicts",
+)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_ORDER)
+def test_fast_matches_reference_on_table6_grid(name):
+    workload = WORKLOADS[name]
+    for config in GRID_CONFIGS:
+        for scheduler in ("balanced", "traditional"):
+            program = compile_source(
+                workload.source, options_for(scheduler, config),
+                name).program
+            ref = Simulator(program, mode="reference")
+            ref.run()
+            fast = Simulator(program, mode="fast")
+            fast.run()
+            point = f"{name}/{config}/{scheduler}"
+            assert fast.mode_used == "fast", point
+            for field in CHECKED_FIELDS:
+                assert getattr(fast.metrics, field) == \
+                    getattr(ref.metrics, field), (point, field)
+            for level in ("l1d", "l1i", "l2", "l3"):
+                assert vars(getattr(fast.metrics, level)) == \
+                    vars(getattr(ref.metrics, level)), (point, level)
+            for symbol in program.symbols:
+                assert fast.get_symbol(symbol) == \
+                    ref.get_symbol(symbol), (point, symbol)

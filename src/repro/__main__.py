@@ -130,6 +130,32 @@ def _apply_validate_flag(args: argparse.Namespace) -> None:
         os.environ["REPRO_VALIDATE_IR"] = "1"
 
 
+def _add_sim_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sim", default=None, choices=("auto", "fast", "reference"),
+        help="simulator engine: the compiled fast engine, the "
+             "reference interpreter, or auto (fast when supported); "
+             "equivalent to REPRO_SIM")
+
+
+def _apply_sim_flag(args: argparse.Namespace) -> None:
+    # Exported through the environment so forked grid workers
+    # (harness.experiment) inherit the engine choice too.
+    sim = getattr(args, "sim", None)
+    if sim == "auto":
+        os.environ.pop("REPRO_SIM", None)
+    elif sim:
+        os.environ["REPRO_SIM"] = sim
+    else:
+        # A bad $REPRO_SIM should fail like a bad --sim: one line,
+        # before any grid worker trips over it mid-sweep.
+        env = os.environ.get("REPRO_SIM", "").strip()
+        if env and env not in ("fast", "reference"):
+            raise SystemExit(
+                f"repro: invalid REPRO_SIM value {env!r} "
+                f"(expected 'fast' or 'reference')")
+
+
 def _make_observer(args: argparse.Namespace) -> Observer:
     if getattr(args, "trace", None) is None:
         return NULL_OBSERVER
@@ -180,6 +206,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _apply_sim_flag(args)
     source = Path(args.file).read_text()
     result = compile_source(source, _options(args), Path(args.file).stem)
     sim = Simulator(result.program, config=result.options.config)
@@ -193,6 +220,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     _apply_validate_flag(args)
+    _apply_sim_flag(args)
     observer = _make_observer(args)
     runner = ExperimentRunner(verbose=True,
                               jobs=_resolve_jobs(args.jobs),
@@ -222,6 +250,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_tables(args: argparse.Namespace) -> int:
     _apply_validate_flag(args)
+    _apply_sim_flag(args)
     observer = _make_observer(args)
     runner = ExperimentRunner(verbose=True,
                               jobs=_resolve_jobs(args.jobs),
@@ -253,6 +282,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .harness.report import build_report, write_report
 
     _apply_validate_flag(args)
+    _apply_sim_flag(args)
     observer = _make_observer(args)
     runner = ExperimentRunner(verbose=True,
                               jobs=_resolve_jobs(args.jobs),
@@ -368,6 +398,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_run = sub.add_parser("run", help="compile and simulate")
     p_run.add_argument("file")
+    _add_sim_flag(p_run)
     p_run.add_argument("--dump", nargs="*", metavar="SYMBOL",
                        help="print these data symbols after the run")
     _add_compiler_flags(p_run)
@@ -380,6 +411,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_jobs_flag(p_bench)
     _add_trace_flag(p_bench)
     _add_validate_flag(p_bench)
+    _add_sim_flag(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -389,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_jobs_flag(p_tables)
     _add_trace_flag(p_tables)
     _add_validate_flag(p_tables)
+    _add_sim_flag(p_tables)
     p_tables.set_defaults(fn=cmd_tables)
 
     p_report = sub.add_parser("report",
@@ -398,6 +431,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_jobs_flag(p_report)
     _add_trace_flag(p_report)
     _add_validate_flag(p_report)
+    _add_sim_flag(p_report)
     p_report.set_defaults(fn=cmd_report)
 
     p_profile = sub.add_parser(

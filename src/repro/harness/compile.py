@@ -286,7 +286,8 @@ def _collect_profile(cfg: Cfg, options: Options) -> ProfileData:
     snapshot = _copy.deepcopy(cfg)
     allocate_registers(snapshot)
     program = snapshot.linearize()
-    sim = Simulator(program, config=options.config, profile=True)
+    sim = Simulator(program, config=options.config, profile=True,
+                    mode="profile")
     sim.run()
     return ProfileData(block_counts=dict(sim.block_counts),
                        edge_counts=dict(sim.edge_counts))

@@ -126,6 +126,9 @@ class RunTiming:
     #: Full software-pipelining record (ModuloStats.to_json()) for
     #: executed points of swp configurations; None otherwise.
     modulo: Optional[dict] = None
+    #: Which simulator engine executed this point ("fast", "reference",
+    #: "profile"); None for cached points that were never re-simulated.
+    sim_mode: Optional[str] = None
 
     @property
     def instructions_per_second(self) -> float:
@@ -152,6 +155,7 @@ class ManifestRun:
     total_seconds: float = 0.0
     simulated_instructions: int = 0
     modulo: Optional[dict] = None
+    sim_mode: Optional[str] = None
     instructions_per_second: float = 0.0
     total_cycles: int = 0
     load_interlock_cycles: int = 0
@@ -164,7 +168,7 @@ class ManifestRun:
             phase_seconds=dict(self.phase_seconds),
             total_seconds=self.total_seconds,
             simulated_instructions=self.simulated_instructions,
-            modulo=self.modulo)
+            modulo=self.modulo, sim_mode=self.sim_mode)
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -297,6 +301,8 @@ def _execute_grid_point(workload: Workload, scheduler: str,
     total_seconds = time.perf_counter() - start
     phases = dict(compiled.phase_seconds)
     phases["simulate"] = sim.run_seconds
+    if sim.codegen_seconds:
+        phases["sim_codegen"] = sim.codegen_seconds
     result = RunResult(
         benchmark=workload.name, scheduler=scheduler, config=config,
         total_cycles=metrics.total_cycles,
@@ -329,7 +335,8 @@ def _execute_grid_point(workload: Workload, scheduler: str,
     timing = RunTiming(
         benchmark=workload.name, scheduler=scheduler, config=config,
         cached=False, phase_seconds=phases, total_seconds=total_seconds,
-        simulated_instructions=metrics.instructions, modulo=modulo)
+        simulated_instructions=metrics.instructions, modulo=modulo,
+        sim_mode=sim.mode_used)
     return result, timing
 
 

@@ -8,6 +8,7 @@ from .config import (
     INSTRUCTION_LATENCIES,
     OP_LATENCY,
     CacheLevelConfig,
+    ConfigError,
     MachineConfig,
     TlbConfig,
 )
@@ -18,7 +19,7 @@ __all__ = [
     "BranchPredictor", "Cache", "Tlb",
     "DEFAULT_CONFIG", "ELEMENT_BYTES", "ELEMENTS_PER_LINE",
     "INSTRUCTION_LATENCIES", "OP_LATENCY",
-    "CacheLevelConfig", "MachineConfig", "TlbConfig",
+    "CacheLevelConfig", "ConfigError", "MachineConfig", "TlbConfig",
     "CacheStats", "Metrics", "MetricsInvariantError",
     "SimulationError", "Simulator", "simulate",
 ]

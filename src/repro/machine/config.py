@@ -53,6 +53,10 @@ def _fill_op_latencies() -> None:
 _fill_op_latencies()
 
 
+class ConfigError(ValueError):
+    """A :class:`MachineConfig` violates a structural constraint."""
+
+
 @dataclass(frozen=True)
 class CacheLevelConfig:
     name: str
@@ -106,6 +110,83 @@ class MachineConfig:
     perfect_dtlb: bool = False
     op_latency: dict[str, int] = field(
         default_factory=lambda: dict(OP_LATENCY))
+
+    def validate(self) -> None:
+        """Reject structurally inconsistent machine descriptions.
+
+        The simulator derives *fill* latencies by subtraction (an
+        instruction miss costs ``l2.latency - l1i.latency`` extra
+        cycles, and so on down the hierarchy), so a configuration whose
+        latencies are not monotone down the hierarchy would silently
+        rewind simulated time.  Called from ``Simulator.__init__`` so a
+        bad custom config fails loudly at construction instead of
+        corrupting cycle counts.  Raises :class:`ConfigError`.
+        """
+        def fail(reason: str) -> None:
+            raise ConfigError(f"invalid MachineConfig: {reason}")
+
+        for level in (self.l1d, self.l1i, self.l2, self.l3):
+            if level.size_bytes <= 0:
+                fail(f"{level.name} size must be positive "
+                     f"({level.size_bytes})")
+            if level.line_bytes <= 0 or \
+                    level.line_bytes & (level.line_bytes - 1):
+                fail(f"{level.name} line size must be a positive power "
+                     f"of two ({level.line_bytes})")
+            if level.latency <= 0:
+                fail(f"{level.name} latency must be positive "
+                     f"({level.latency})")
+            if level.assoc < 0:
+                fail(f"{level.name} associativity must be >= 0 "
+                     f"({level.assoc})")
+        if self.memory_latency <= 0:
+            fail(f"memory latency must be positive "
+                 f"({self.memory_latency})")
+        if self.memory_model == "hierarchy":
+            # Fill latencies are differences between adjacent levels:
+            # they must not go negative anywhere a miss can be filled.
+            for upper in (self.l1d, self.l1i):
+                if upper.latency > self.l2.latency:
+                    fail(f"{upper.name} latency {upper.latency} > L2 "
+                         f"latency {self.l2.latency} (non-monotone "
+                         f"hierarchy yields negative fill latencies)")
+            if self.l2.latency > self.l3.latency:
+                fail(f"L2 latency {self.l2.latency} > L3 latency "
+                     f"{self.l3.latency}")
+            if self.l3.latency > self.memory_latency:
+                fail(f"L3 latency {self.l3.latency} > memory latency "
+                     f"{self.memory_latency}")
+        elif self.memory_model != "stochastic":
+            fail(f"unknown memory model {self.memory_model!r}")
+        for tlb, name in ((self.dtlb, "D-TLB"), (self.itlb, "I-TLB")):
+            if tlb.entries <= 0:
+                fail(f"{name} must have at least one entry "
+                     f"({tlb.entries})")
+            if tlb.page_bytes <= 0 or \
+                    tlb.page_bytes & (tlb.page_bytes - 1):
+                fail(f"{name} page size must be a positive power of two "
+                     f"({tlb.page_bytes})")
+            if tlb.miss_penalty < 0:
+                fail(f"{name} miss penalty must be >= 0 "
+                     f"({tlb.miss_penalty})")
+        if self.mshr_entries <= 0:
+            fail(f"mshr_entries must be positive ({self.mshr_entries})")
+        if self.issue_width <= 0:
+            fail(f"issue_width must be positive ({self.issue_width})")
+        if self.mem_ports <= 0:
+            fail(f"mem_ports must be positive ({self.mem_ports})")
+        if self.branch_mispredict_penalty < 0:
+            fail(f"branch_mispredict_penalty must be >= 0 "
+                 f"({self.branch_mispredict_penalty})")
+        if not 0.0 <= self.stochastic_hit_rate <= 1.0:
+            fail(f"stochastic_hit_rate must be in [0, 1] "
+                 f"({self.stochastic_hit_rate})")
+        if self.stochastic_miss_std < 0:
+            fail(f"stochastic_miss_std must be >= 0 "
+                 f"({self.stochastic_miss_std})")
+        for op, latency in self.op_latency.items():
+            if latency <= 0:
+                fail(f"op latency for {op} must be positive ({latency})")
 
     #: Maximum balanced load weight (paper footnote 1: no load can take
     #: more than the 50-cycle main-memory latency to satisfy).

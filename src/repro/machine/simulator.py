@@ -23,6 +23,7 @@ frequencies (the paper's profiling step for trace selection).
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
 from typing import TYPE_CHECKING, Optional
@@ -62,16 +63,45 @@ class SimulationError(Exception):
 
 
 class Simulator:
-    """Executes one :class:`~repro.isa.MachineProgram`."""
+    """Executes one :class:`~repro.isa.MachineProgram`.
+
+    ``mode`` selects the execution engine:
+
+    * ``"auto"`` (default): the throughput-oriented compiled engine
+      (:mod:`repro.machine.fastsim`) whenever the configuration
+      supports it, the reference interpreter otherwise.  The
+      ``REPRO_SIM`` environment variable (``fast`` / ``reference``)
+      overrides the choice.
+    * ``"fast"`` / ``"reference"``: force one engine.  ``"fast"``
+      raises if the configuration is unsupported.
+    * ``"profile"``: architectural execution only — block and edge
+      frequencies (and instruction-class counts) without any stall,
+      cache or branch-prediction modelling.  Only valid together with
+      ``profile=True``; cycle counters are placeholders.
+
+    Both timing engines are bit-identical in every :class:`Metrics`
+    counter and in final architectural state (the test suite and the
+    ``sim-throughput`` CI job enforce this).  After :meth:`run`,
+    ``mode_used`` records which engine actually executed.
+    """
 
     def __init__(self, program: MachineProgram,
                  config: MachineConfig = DEFAULT_CONFIG,
                  profile: bool = False,
                  stack_words: int = 4096,
-                 stall_profile: Optional["StallProfile"] = None) -> None:
+                 stall_profile: Optional["StallProfile"] = None,
+                 mode: str = "auto") -> None:
+        config.validate()
+        if mode not in ("auto", "fast", "reference", "profile"):
+            raise ValueError(f"unknown simulator mode {mode!r}")
+        if mode == "profile" and not profile:
+            raise ValueError("mode='profile' requires profile=True")
         self.program = program
         self.config = config
         self.profiling = profile
+        self.mode = mode
+        #: Engine that actually executed the last :meth:`run`.
+        self.mode_used: Optional[str] = None
         #: Optional per-PC stall attribution sink (obs.StallProfile).
         #: None (the default) keeps the hot loop on the fast path: one
         #: boolean test per instruction, no counter updates.
@@ -95,6 +125,12 @@ class Simulator:
         self.regs: list = []
         self.ready: list[int] = []
         self.from_load: list[bool] = []
+        # Discard slots for writes to the architectural zero registers
+        # (r31/f31).  One per register file so an integer and an fp
+        # zero-dest write never share state; their readiness entries
+        # are *never* updated (a discarded result can stall nobody).
+        self._discard_slot = {"i": self._new_slot(0),
+                              "f": self._new_slot(0.0)}
 
         # Machine structures.
         self.l1d = Cache(config.l1d)
@@ -105,6 +141,14 @@ class Simulator:
         self.itlb = Tlb(config.itlb.entries, config.itlb.page_bytes)
         self.bpred = BranchPredictor()
         self._mshr: dict[int, int] = {}       # line -> completion time
+        #: Min-heap of in-flight completion times, drained lazily.  The
+        #: occupancy question "are all MSHRs busy at cycle *now*?" is
+        #: answered by popping expired heads — O(log n) per miss
+        #: instead of rebuilding a list over every dict value.
+        self._mshr_heap: list[int] = []
+        #: Latest completion time ever pushed; the compiled engine's
+        #: replay guard ("no miss in flight") is one integer compare.
+        self._mshr_max = 0
         self._rng_state = 0x1234ABCD          # stochastic-model LCG
 
         # Profiling.
@@ -119,17 +163,24 @@ class Simulator:
         #: Wall-clock seconds of the last :meth:`run` (harness
         #: observability: simulated-instructions-per-second throughput).
         self.run_seconds: float = 0.0
+        self.codegen_seconds: float = 0.0
+        self._ran = False
         self._decoded = self._predecode()
+        self._fast_engine = None        # built lazily on first run()
 
     # ---------------------------------------------------------- registers
+    def _new_slot(self, initial) -> int:
+        slot = len(self.regs)
+        self.regs.append(initial)
+        self.ready.append(0)
+        self.from_load.append(False)
+        return slot
+
     def _slot(self, reg: Reg) -> int:
         slot = self._slots.get(reg)
         if slot is None:
-            slot = len(self.regs)
+            slot = self._new_slot(0.0 if reg.is_fp else 0)
             self._slots[reg] = slot
-            self.regs.append(0.0 if reg.is_fp else 0)
-            self.ready.append(0)
-            self.from_load.append(False)
             if not reg.virtual and reg.num == 30 and reg.kind == "i":
                 self.regs[slot] = self.stack_base
         return slot
@@ -167,31 +218,110 @@ class Simulator:
     # ------------------------------------------------------------ decode
     def _predecode(self):
         decoded = []
-        zero_value_slot = None
         for index, instr in enumerate(self.program.instructions):
             code = _OPC[instr.op]
             dest = self._slot(instr.dest) if instr.dest is not None else -1
+            track = True
+            reads_dest = instr.info.reads_dest
             if instr.dest is not None and instr.dest.is_zero:
-                # Writes to r31/f31 are discarded: redirect to scratch.
-                if zero_value_slot is None:
-                    scratch = Reg("i", 63, True)
-                    zero_value_slot = self._slot(scratch)
-                dest = zero_value_slot
+                # Writes to r31/f31 are architecturally discarded:
+                # redirect the value to a per-file discard slot whose
+                # readiness state is never updated (``track=False``),
+                # so a discarded producer — e.g. a prefetch-idiom load
+                # — can never charge interlock cycles against a later
+                # zero-dest consumer, and an integer discard never
+                # collides with an fp one.  The zero register always
+                # reads as ready, so the CMOV dest-read check is
+                # dropped too.
+                dest = self._discard_slot[instr.dest.kind]
+                track = False
+                reads_dest = False
             srcs = tuple(self._slot(r) for r in instr.srcs)
             # Zero registers read as constant 0: give them a pinned slot.
             target = (self.program.labels[instr.label]
                       if instr.is_branch else -1)
             latency = self.config.op_latency[instr.op]
             cls_field = _CLASS_FIELD[instr.info.opclass]
-            reads_dest = instr.info.reads_dest
             decoded.append((code, dest, srcs, instr.imm, instr.offset,
                             target, latency, cls_field, instr.is_spill,
-                            reads_dest))
+                            reads_dest, track))
         return decoded
 
     # -------------------------------------------------------------- run
     def run(self, max_instructions: int = 200_000_000) -> Metrics:
+        """Execute the program once and return its :class:`Metrics`.
+
+        ``run`` is **single-shot**: architectural state, cache contents
+        and metrics all belong to exactly one execution, and a second
+        call would silently accumulate class counts onto totals while
+        overwriting cycle and cache counters (inconsistent metrics).
+        Construct a fresh :class:`Simulator` per execution instead; a
+        repeated call raises :class:`SimulationError`.
+        """
+        if self._ran:
+            raise SimulationError(
+                "Simulator.run() is single-shot: this simulator has "
+                "already executed its program; construct a new "
+                "Simulator to run it again")
+        self._ran = True
+        mode = self.mode
+        if mode == "auto":
+            env = os.environ.get("REPRO_SIM", "").strip()
+            if env and env not in ("fast", "reference"):
+                raise ValueError(
+                    f"REPRO_SIM must be 'fast' or 'reference', "
+                    f"got {env!r}")
+            mode = env or "fast"
+        # Engine construction is compilation, not simulation: build it
+        # outside the timed window (like ``_predecode`` in __init__) so
+        # ``run_seconds`` measures pure execution.  The codegen cost is
+        # reported separately in ``codegen_seconds``.
+        if mode == "fast":
+            from .fastsim import build_engine
+
+            codegen_start = time.perf_counter()
+            if self._fast_engine is None:
+                self._fast_engine = build_engine(self)
+            self.codegen_seconds = time.perf_counter() - codegen_start
+            if self._fast_engine is None:
+                if self.mode == "fast":
+                    raise ValueError(
+                        "mode='fast' requested but this configuration "
+                        "is not supported by the compiled engine "
+                        "(multi-issue, stall attribution, or "
+                        "profiling); use mode='auto' or 'reference'")
+                mode = "reference"
         wall_start = time.perf_counter()
+        try:
+            if mode == "profile":
+                from .fastsim import run_profile
+
+                self.mode_used = "profile"
+                run_profile(self, max_instructions)
+            elif mode == "fast":
+                self.mode_used = "fast"
+                self._fast_engine.run(max_instructions)
+            else:
+                self.mode_used = "reference"
+                self._run_reference(max_instructions)
+        finally:
+            self.run_seconds = time.perf_counter() - wall_start
+        if os.environ.get("REPRO_VALIDATE_METRICS") == "1":
+            self.metrics.validate(issue_width=self.config.issue_width)
+        return self.metrics
+
+    def _flush_machine_stats(self) -> None:
+        """Copy cache/TLB/predictor state counters into the metrics."""
+        m = self.metrics
+        m.l1d = self.l1d.stats
+        m.l1i = self.l1i.stats
+        m.l2 = self.l2.stats
+        m.l3 = self.l3.stats
+        m.dtlb_misses = self.dtlb.misses
+        m.itlb_misses = self.itlb.misses
+        m.branch_mispredicts = self.bpred.mispredicts
+
+    def _run_reference(self, max_instructions: int) -> Metrics:
         m = self.metrics
         config = self.config
         regs = self.regs
@@ -278,7 +408,7 @@ class Simulator:
                     mem_left = mem_ports
 
             (code, dest, srcs, imm, offset, target, latency, cls_field,
-             is_spill, reads_dest) = decoded[pc]
+             is_spill, reads_dest, track) = decoded[pc]
             executed += 1
             class_counts[cls_field] += 1
             if observing:
@@ -343,10 +473,12 @@ class Simulator:
                         slots_left = width
                         mem_left = mem_ports
                     regs[dest] = memory[addr >> 3]
-                    ready[dest] = t + lat
-                    from_load[dest] = True
+                    if track:
+                        ready[dest] = t + lat
+                        from_load[dest] = True
+                        if observing:
+                            producer_pc[dest] = pc
                     if observing:
-                        producer_pc[dest] = pc
                         if lat <= l1_hit_latency:
                             sp_hits[pc] = sp_hits.get(pc, 0) + 1
                         else:
@@ -372,10 +504,11 @@ class Simulator:
                 continue
             elif code <= 5:                      # LDI, FLDI
                 regs[dest] = imm
-                ready[dest] = t + 1
-                from_load[dest] = False
-                if observing:
-                    producer_pc[dest] = pc
+                if track:
+                    ready[dest] = t + 1
+                    from_load[dest] = False
+                    if observing:
+                        producer_pc[dest] = pc
                 slots_left -= 1
                 if slots_left == 0:
                     t += 1
@@ -489,10 +622,11 @@ class Simulator:
                 else:
                     raise SimulationError(f"bad opcode {code} at pc {pc}")
                 regs[dest] = value
-                ready[dest] = t + latency
-                from_load[dest] = False
-                if observing:
-                    producer_pc[dest] = pc
+                if track:
+                    ready[dest] = t + latency
+                    from_load[dest] = False
+                    if observing:
+                        producer_pc[dest] = pc
                 slots_left -= 1
                 if slots_left == 0:
                     t += 1
@@ -510,16 +644,7 @@ class Simulator:
         m.loads += class_counts["loads"]
         m.stores += class_counts["stores"]
         m.branches += class_counts["branches"]
-        m.l1d = self.l1d.stats
-        m.l1i = self.l1i.stats
-        m.l2 = self.l2.stats
-        m.l3 = self.l3.stats
-        m.dtlb_misses = self.dtlb.misses
-        m.itlb_misses = self.itlb.misses
-        m.branch_mispredicts = self.bpred.mispredicts
-        self.run_seconds = time.perf_counter() - wall_start
-        if os.environ.get("REPRO_VALIDATE_METRICS") == "1":
-            m.validate(issue_width=width)
+        self._flush_machine_stats()
         return m
 
     # ------------------------------------------------------ memory timing
@@ -565,13 +690,22 @@ class Simulator:
         if self.l1d.lookup(addr):
             return config.l1d.latency + latency_extra, 0
 
-        # L1 miss: need an MSHR.
+        # L1 miss: need an MSHR.  The heap holds completion times of
+        # all outstanding misses; entries whose fill already happened
+        # are popped lazily, so occupancy is just the heap length and
+        # the all-busy case reads the earliest completion from the top
+        # (the old code rebuilt a filtered list over the dict values on
+        # every miss).
         stall = 0
-        active = [c for c in mshr.values() if c > now]
-        if len(active) >= config.mshr_entries:
-            earliest = min(active)
+        heap = self._mshr_heap
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        if len(heap) >= config.mshr_entries:
+            earliest = heap[0]
             stall = earliest - now
             now = earliest
+            while heap and heap[0] <= now:
+                heapq.heappop(heap)
         if len(mshr) > 64:
             for stale in [ln for ln, c in mshr.items() if c <= now]:
                 del mshr[stale]
@@ -583,7 +717,11 @@ class Simulator:
         else:
             latency = config.memory_latency
         latency += latency_extra
-        mshr[line] = now + latency
+        completion = now + latency
+        mshr[line] = completion
+        heapq.heappush(heap, completion)
+        if completion > self._mshr_max:
+            self._mshr_max = completion
         return latency, stall
 
     def _dstore(self, addr: int) -> None:

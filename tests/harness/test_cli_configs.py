@@ -121,6 +121,24 @@ def test_bad_configs_env_exits_with_one_liner(monkeypatch):
         main(["bench", "ora"])
 
 
+def test_bad_sim_env_exits_with_one_liner(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM", "turbo")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "ora", "--configs", "base"])
+    message = str(excinfo.value.code)
+    assert "invalid REPRO_SIM value 'turbo'" in message
+    assert "\n" not in message
+
+
+def test_sim_flag_overrides_bad_env(monkeypatch, tmp_path):
+    # --sim auto clears a stale REPRO_SIM instead of tripping on it.
+    monkeypatch.setenv("REPRO_SIM", "turbo")
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert main(["bench", "ora", "--configs", "base",
+                 "--sim", "auto"]) == 0
+    assert "REPRO_SIM" not in os.environ
+
+
 def test_profile_unknown_benchmark_exits_with_one_liner():
     with pytest.raises(SystemExit) as excinfo:
         main(["profile", "not-a-benchmark"])

@@ -70,12 +70,15 @@ def test_manifest_records_phases_and_throughput(tmp_path):
     assert manifest["executed"] == 2 and manifest["cached"] == 0
     assert manifest["wall_seconds"] > 0
     for entry in manifest["runs"]:
-        assert set(entry["phase_seconds"]) == {
-            "compile", "schedule", "regalloc", "simulate"}
+        assert {"compile", "schedule", "regalloc", "simulate"} <= \
+            set(entry["phase_seconds"]) <= {
+                "compile", "schedule", "regalloc", "simulate",
+                "sim_codegen"}
         assert all(value >= 0 for value in entry["phase_seconds"].values())
         assert entry["instructions_per_second"] > 0
         assert entry["simulated_instructions"] > 0
         assert entry["total_cycles"] > 0
+        assert entry["sim_mode"] in ("fast", "reference")
 
 
 def test_manifest_marks_cached_points(tmp_path):

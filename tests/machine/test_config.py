@@ -1,11 +1,19 @@
 """Machine configuration: paper Tables 2-3 constants, simple model."""
 
-from repro.isa import OPCODES
+from dataclasses import replace
+
+import pytest
+
+from repro.isa import OPCODES, Instruction, assemble
 from repro.machine import (
     DEFAULT_CONFIG,
     INSTRUCTION_LATENCIES,
     OP_LATENCY,
+    CacheLevelConfig,
+    ConfigError,
     MachineConfig,
+    Simulator,
+    TlbConfig,
 )
 from repro.machine.config import simple_stochastic_config
 
@@ -86,3 +94,84 @@ class TestSimpleModel:
         import pytest
         with pytest.raises(Exception):
             DEFAULT_CONFIG.memory_latency = 10  # frozen dataclass
+
+
+class TestValidate:
+    """MachineConfig.validate(): structurally bad configs are rejected
+    at Simulator construction (regression: a custom config with
+    ``l1i.latency > l2.latency`` used to yield a *negative* fill
+    latency that silently rewound simulated time)."""
+
+    def _reject(self, match, **overrides):
+        config = replace(DEFAULT_CONFIG, **overrides)
+        with pytest.raises(ConfigError, match=match):
+            config.validate()
+        program = assemble(
+            [("entry", [Instruction("HALT")])])
+        with pytest.raises(ConfigError, match=match):
+            Simulator(program, config=config)
+
+    def test_default_config_validates(self):
+        DEFAULT_CONFIG.validate()
+
+    def test_non_monotone_l1i_latency_rejected(self):
+        self._reject("non-monotone",
+                     l1i=CacheLevelConfig("L1I", 8192, 1, 32, 15))
+
+    def test_non_monotone_l1d_latency_rejected(self):
+        self._reject("non-monotone",
+                     l1d=CacheLevelConfig("L1D", 8192, 1, 32, 15))
+
+    def test_l2_slower_than_l3_rejected(self):
+        self._reject("L2 latency",
+                     l2=CacheLevelConfig("L2", 98304, 3, 32, 25))
+
+    def test_l3_slower_than_memory_rejected(self):
+        self._reject("L3 latency", memory_latency=10)
+
+    def test_non_power_of_two_line_rejected(self):
+        self._reject("power",
+                     l1d=CacheLevelConfig("L1D", 8192, 1, 48, 2))
+
+    def test_zero_latency_level_rejected(self):
+        self._reject("latency must be positive",
+                     l1d=CacheLevelConfig("L1D", 8192, 1, 32, 0))
+
+    def test_negative_size_rejected(self):
+        self._reject("size must be positive",
+                     l1d=CacheLevelConfig("L1D", -8192, 1, 32, 2))
+
+    def test_zero_mshrs_rejected(self):
+        self._reject("mshr_entries", mshr_entries=0)
+
+    def test_zero_issue_width_rejected(self):
+        self._reject("issue_width", issue_width=0)
+
+    def test_zero_mem_ports_rejected(self):
+        self._reject("mem_ports", mem_ports=0)
+
+    def test_negative_mispredict_penalty_rejected(self):
+        self._reject("branch_mispredict_penalty",
+                     branch_mispredict_penalty=-1)
+
+    def test_unknown_memory_model_rejected(self):
+        self._reject("unknown memory model", memory_model="oracle")
+
+    def test_bad_hit_rate_rejected(self):
+        self._reject("stochastic_hit_rate", stochastic_hit_rate=1.5)
+
+    def test_bad_tlb_rejected(self):
+        self._reject("D-TLB", dtlb=TlbConfig(0, 8192, 30))
+        self._reject("page size", dtlb=TlbConfig(64, 3000, 30))
+
+    def test_nonpositive_op_latency_rejected(self):
+        bad = dict(OP_LATENCY)
+        bad["ADD"] = 0
+        self._reject("op latency", op_latency=bad)
+
+    def test_stochastic_model_skips_hierarchy_monotonicity(self):
+        # The stochastic model never derives fill latencies, so a
+        # non-monotone hierarchy is irrelevant there.
+        config = replace(simple_stochastic_config(),
+                         l1i=CacheLevelConfig("L1I", 8192, 1, 32, 15))
+        config.validate()

@@ -23,6 +23,7 @@ from .experiment import (
     parse_manifest,
 )
 from .report import build_report, write_report
+from .store import ResultStore, StoreKey, atomic_write_json, source_hash
 from .tables import (
     ALL_TABLES,
     TABLE_CONFIGS,
@@ -49,6 +50,7 @@ __all__ = [
     "parse_manifest",
     "arithmetic_mean", "geometric_mean", "options_for",
     "build_report", "write_report",
+    "ResultStore", "StoreKey", "atomic_write_json", "source_hash",
     "ALL_TABLES", "TABLE_CONFIGS", "Table", "format_table",
     "generate_all",
     "table1", "table2", "table3", "table4", "table5", "table6",

@@ -29,18 +29,27 @@ import hashlib
 import json
 import math
 import os
+import signal
 import sys
-import tempfile
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional
 
-from ..machine import Simulator
+from ..machine import (
+    DEFAULT_CONFIG,
+    MachineConfig,
+    Simulator,
+    config_from_json,
+    config_hash,
+    config_to_json,
+)
 from ..obs import NULL_OBSERVER, Observer
 from ..workloads.programs import WORKLOADS, Workload
 from .compile import Options, compile_source
+from .store import ResultStore, StoreKey, atomic_write_json, source_hash
 
 #: The paper's configuration axes, by short name.
 CONFIGS: dict[str, dict] = {
@@ -60,7 +69,15 @@ CONFIGS: dict[str, dict] = {
 
 SCHEDULERS = ("balanced", "traditional")
 
+#: Cache roots already swept for orphaned temp files this process.
+_REAPED_ROOTS: set[Path] = set()
+
 MANIFEST_NAME = "run-manifest.json"
+
+#: Manifest schema version.  v3 added the ``partial`` flag (graceful
+#: shutdown writes a well-formed manifest for the completed prefix of
+#: the grid) and machine-config-aware cache keys.
+MANIFEST_VERSION = 3
 
 
 @dataclass
@@ -189,6 +206,9 @@ class Manifest:
     runs: list[ManifestRun] = field(default_factory=list)
     modulo: Optional[dict] = None
     trace: Optional[dict] = None
+    #: True when the sweep was interrupted (SIGTERM/SIGINT, a worker
+    #: death) and the manifest covers only the completed grid points.
+    partial: bool = False
 
     def to_json(self) -> dict:
         data = asdict(self)
@@ -222,7 +242,8 @@ def parse_manifest(data: dict) -> Manifest:
         simulated_instructions=data.get("simulated_instructions", 0),
         runs=runs,
         modulo=data.get("modulo"),
-        trace=data.get("trace"))
+        trace=data.get("trace"),
+        partial=data.get("partial", False))
 
 
 def load_manifest(path: str | Path) -> Manifest:
@@ -230,9 +251,13 @@ def load_manifest(path: str | Path) -> Manifest:
     return parse_manifest(json.loads(Path(path).read_text()))
 
 
-def options_for(scheduler: str, config: str) -> Options:
-    """Build compiler options for a named grid point."""
+def options_for(scheduler: str, config: str,
+                machine: Optional[MachineConfig] = None) -> Options:
+    """Build compiler options for a named grid point, optionally on a
+    non-default machine description."""
     knobs = CONFIGS[config]
+    if machine is not None:
+        return Options(scheduler=scheduler, config=machine, **knobs)
     return Options(scheduler=scheduler, **knobs)
 
 
@@ -257,40 +282,27 @@ def _package_fingerprint(root: Optional[Path] = None) -> str:
     return digest.hexdigest()[:16]
 
 
-def _atomic_write_json(path: Path, payload) -> None:
-    """Write JSON atomically: temp file in the same directory, then
-    ``os.replace``.  Readers never observe a torn file, and concurrent
-    writers of the same (deterministic) entry simply race to publish
-    identical contents."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
-                               prefix=f".{path.name}.", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+#: Atomic JSON writes now live in :mod:`repro.harness.store`; this
+#: alias keeps the original name importable.
+_atomic_write_json = atomic_write_json
 
 
 def _execute_grid_point(workload: Workload, scheduler: str,
                         config: str,
-                        observer: Observer = NULL_OBSERVER
+                        observer: Observer = NULL_OBSERVER,
+                        machine: Optional[MachineConfig] = None
                         ) -> tuple[RunResult, RunTiming]:
     """Compile and simulate one grid point, with phase timings."""
     start = time.perf_counter()
     with observer.span("grid-point", benchmark=workload.name,
                        scheduler=scheduler, config=config):
-        compiled = compile_source(workload.source,
-                                  options_for(scheduler, config),
+        options = options_for(scheduler, config, machine=machine)
+        compiled = compile_source(workload.source, options,
                                   workload.name, observer=observer)
         stall_profile = observer.stall_profile(workload.name, scheduler,
                                                config)
-        sim = Simulator(compiled.program, stall_profile=stall_profile)
+        sim = Simulator(compiled.program, config=options.config,
+                        stall_profile=stall_profile)
         with observer.span("simulate") as span:
             metrics = sim.run()
             if observer.enabled:
@@ -341,14 +353,18 @@ def _execute_grid_point(workload: Workload, scheduler: str,
 
 
 def _pool_run(benchmark: str, scheduler: str, config: str,
-              cache_dir: str, use_cache: bool, fingerprint: str):
+              cache_dir: str, use_cache: bool, fingerprint: str,
+              machine_json: Optional[dict] = None):
     """Worker entry point: one grid point in a child process.
 
     The parent's pre-computed package fingerprint is passed in so the
-    worker never re-hashes the package sources.
+    worker never re-hashes the package sources; a non-default machine
+    description travels as plain JSON (picklable, version-stable).
     """
+    machine = config_from_json(machine_json) if machine_json else None
     runner = ExperimentRunner(cache_dir=Path(cache_dir),
-                              fingerprint=fingerprint)
+                              fingerprint=fingerprint,
+                              machine_config=machine)
     runner.use_cache = use_cache
     result = runner.run(benchmark, scheduler, config)
     timing = runner.timings.get((benchmark, scheduler, config))
@@ -361,7 +377,8 @@ class ExperimentRunner:
     def __init__(self, cache_dir: Optional[Path] = None,
                  verbose: bool = False, jobs: int = 1,
                  fingerprint: Optional[str] = None,
-                 observer: Observer = NULL_OBSERVER) -> None:
+                 observer: Observer = NULL_OBSERVER,
+                 machine_config: Optional[MachineConfig] = None) -> None:
         if cache_dir is None:
             cache_dir = Path(
                 os.environ.get("REPRO_CACHE_DIR",
@@ -370,6 +387,16 @@ class ExperimentRunner:
         self.use_cache = os.environ.get("REPRO_NO_CACHE") != "1"
         self.verbose = verbose
         self.jobs = max(1, jobs)
+        #: Machine the whole grid is compiled for and simulated on;
+        #: None means :data:`~repro.machine.DEFAULT_CONFIG`.  Its hash
+        #: is part of every cache key, so results simulated on
+        #: different machines can never be confused for one another.
+        self.machine_config = machine_config
+        self._machine_hash = config_hash(machine_config
+                                         or DEFAULT_CONFIG)
+        self._store = ResultStore(self.cache_dir)
+        if self.use_cache:
+            self._reap_once()
         #: Observability sink.  An *enabled* observer needs in-process
         #: execution for stall attribution, so cached results are
         #: bypassed (recomputation is deterministic and re-publishes
@@ -385,33 +412,48 @@ class ExperimentRunner:
         self.timings: dict[tuple[str, str, str], RunTiming] = {}
 
     # -------------------------------------------------------------- cache
+    def _reap_once(self) -> None:
+        """Reap orphaned temp files, once per cache dir per process
+        (forked grid workers inherit the guard and skip the scan)."""
+        root = self.cache_dir.resolve()
+        if root in _REAPED_ROOTS:
+            return
+        _REAPED_ROOTS.add(root)
+        self._store.reap_orphans()
+
+    def _store_key(self, workload: Workload, scheduler: str,
+                   config: str) -> StoreKey:
+        return StoreKey(benchmark=workload.name, scheduler=scheduler,
+                        config=config, fingerprint=self._fingerprint,
+                        source_hash=source_hash(workload.source),
+                        machine_hash=self._machine_hash)
+
     def _cache_path(self, workload: Workload, scheduler: str,
                     config: str) -> Path:
-        source_hash = hashlib.sha256(
-            workload.source.encode()).hexdigest()[:12]
-        name = (f"{workload.name}-{scheduler}-{config}-"
-                f"{self._fingerprint}-{source_hash}.json")
-        return self.cache_dir / name
+        return self._store.path_for(
+            self._store_key(workload, scheduler, config))
 
-    def _load_cached(self, path: Path) -> Optional[RunResult]:
-        if not self.use_cache or not path.exists():
+    def _load_cached(self, key: StoreKey) -> Optional[RunResult]:
+        if not self.use_cache:
+            return None
+        data = self._store.load(key)
+        if data is None:
             return None
         try:
-            data = json.loads(path.read_text())
             return RunResult(**data)
-        except (ValueError, TypeError, OSError):
-            # Torn or stale-schema entry: drop it so the refreshed
-            # result replaces it (another process may already have).
+        except TypeError:
+            # Stale-schema entry: drop it so the refreshed result
+            # replaces it (another process may already have).
             try:
-                path.unlink(missing_ok=True)
+                self._store.path_for(key).unlink(missing_ok=True)
             except OSError:
                 pass
             return None
 
-    def _store_cached(self, path: Path, result: RunResult) -> None:
+    def _store_cached(self, key: StoreKey, result: RunResult) -> None:
         if not self.use_cache:
             return
-        _atomic_write_json(path, asdict(result))
+        self._store.store(key, asdict(result))
 
     # --------------------------------------------------------------- runs
     def run(self, benchmark: str, scheduler: str, config: str) -> RunResult:
@@ -420,10 +462,10 @@ class ExperimentRunner:
         if key in self._memory:
             return self._memory[key]
         workload = WORKLOADS[benchmark]
-        path = self._cache_path(workload, scheduler, config)
+        store_key = self._store_key(workload, scheduler, config)
         start = time.perf_counter()
         result = None if self.observer.enabled else \
-            self._load_cached(path)
+            self._load_cached(store_key)
         if result is not None:
             self.timings[key] = RunTiming(
                 benchmark=benchmark, scheduler=scheduler, config=config,
@@ -432,11 +474,11 @@ class ExperimentRunner:
         else:
             if self.verbose:
                 print(f"  running {benchmark} / {scheduler} / {config}")
-            result, timing = _execute_grid_point(workload, scheduler,
-                                                config,
-                                                observer=self.observer)
+            result, timing = _execute_grid_point(
+                workload, scheduler, config, observer=self.observer,
+                machine=self.machine_config)
             self.timings[key] = timing
-            self._store_cached(path, result)
+            self._store_cached(store_key, result)
         self._memory[key] = result
         return result
 
@@ -451,6 +493,11 @@ class ExperimentRunner:
         process pool; results come back in deterministic grid order
         (benchmark-major, then scheduler, then config) regardless of
         completion order, bit-identical to the serial path.
+
+        Interruption is graceful: SIGTERM/SIGINT (and a worker dying
+        under the pool) cancel the not-yet-started grid points, but the
+        completed prefix still lands in a well-formed run manifest
+        marked ``"partial": true`` before the interruption is re-raised.
         """
         grid = [(benchmark, scheduler, config)
                 for benchmark in (benchmarks or list(WORKLOADS))
@@ -472,9 +519,9 @@ class ExperimentRunner:
                 pending.append(key)
                 continue
             benchmark, scheduler, config = key
-            path = self._cache_path(WORKLOADS[benchmark], scheduler,
-                                    config)
-            cached = self._load_cached(path)
+            store_key = self._store_key(WORKLOADS[benchmark],
+                                        scheduler, config)
+            cached = self._load_cached(store_key)
             if cached is not None:
                 self._memory[key] = cached
                 self.timings[key] = RunTiming(
@@ -485,27 +532,63 @@ class ExperimentRunner:
                 pending.append(key)
 
         unique_pending = list(dict.fromkeys(pending))
-        if len(unique_pending) <= 1 or jobs == 1:
-            for done, key in enumerate(unique_pending, start=1):
-                self.run(*key)
-                self._progress(done, len(unique_pending), key)
-        else:
-            self._sweep_parallel(unique_pending, jobs)
+        failure: Optional[BaseException] = None
+        restore_sigterm = self._arm_sigterm()
+        try:
+            if len(unique_pending) <= 1 or jobs == 1:
+                for done, key in enumerate(unique_pending, start=1):
+                    self.run(*key)
+                    self._progress(done, len(unique_pending), key)
+            else:
+                self._sweep_parallel(unique_pending, jobs)
+        except BaseException as exc:   # incl. KeyboardInterrupt/SystemExit
+            failure = exc
+        finally:
+            restore_sigterm()
 
-        results = [self._memory[key] for key in grid]
-        self._write_manifest(grid, jobs,
-                             time.perf_counter() - sweep_start)
-        return results
+        try:
+            self._write_manifest(grid, jobs,
+                                 time.perf_counter() - sweep_start,
+                                 partial=failure is not None)
+        except Exception:
+            # Never mask the original interruption with a manifest
+            # error; a clean sweep still reports it.
+            if failure is None:
+                raise
+        if failure is not None:
+            raise failure
+        return [self._memory[key] for key in grid]
+
+    @staticmethod
+    def _arm_sigterm():
+        """Make SIGTERM raise (like SIGINT) for the duration of a
+        sweep, so ``kill <pid>`` drains into the partial-manifest path
+        instead of dying mid-write.  Returns a restore callback; a
+        no-op off the main thread, where signals cannot be armed."""
+        if threading.current_thread() is not threading.main_thread():
+            return lambda: None
+
+        def _on_sigterm(signum, frame):
+            raise SystemExit(128 + signum)
+
+        try:
+            previous = signal.signal(signal.SIGTERM, _on_sigterm)
+        except (ValueError, OSError):
+            return lambda: None
+        return lambda: signal.signal(signal.SIGTERM, previous)
 
     def _sweep_parallel(self, pending: list[tuple[str, str, str]],
                         jobs: int) -> None:
         workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        machine_json = config_to_json(self.machine_config) \
+            if self.machine_config is not None else None
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             futures = {
                 pool.submit(_pool_run, benchmark, scheduler, config,
                             str(self.cache_dir), self.use_cache,
-                            self._fingerprint): (benchmark, scheduler,
-                                                 config)
+                            self._fingerprint, machine_json):
+                    (benchmark, scheduler, config)
                 for benchmark, scheduler, config in pending}
             for done, future in enumerate(as_completed(futures), start=1):
                 benchmark, scheduler, config, result, timing = (
@@ -515,6 +598,14 @@ class ExperimentRunner:
                 if timing is not None:
                     self.timings[key] = timing
                 self._progress(done, len(pending), key)
+        except BaseException:
+            # Interrupted (signal) or a worker died: drop the queued
+            # grid points and abandon the running ones; the caller
+            # writes the partial manifest from what did complete.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
 
     def _progress(self, done: int, total: int,
                   key: tuple[str, str, str]) -> None:
@@ -536,7 +627,8 @@ class ExperimentRunner:
         return self.cache_dir / MANIFEST_NAME
 
     def _write_manifest(self, grid: list[tuple[str, str, str]],
-                        jobs: int, wall_seconds: float) -> None:
+                        jobs: int, wall_seconds: float,
+                        partial: bool = False) -> None:
         """Structured JSON record of the last sweep, next to the cache."""
         if not self.use_cache:
             return
@@ -554,8 +646,9 @@ class ExperimentRunner:
         executed = [r for r in runs if not r["cached"]]
         modulo = self._modulo_aggregates(grid)
         payload = {
-            "version": 2,
+            "version": MANIFEST_VERSION,
             "fingerprint": self._fingerprint,
+            "partial": partial,
             "jobs": jobs,
             "grid_points": len(dict.fromkeys(grid)),
             "executed": len(executed),

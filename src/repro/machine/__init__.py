@@ -11,6 +11,9 @@ from .config import (
     ConfigError,
     MachineConfig,
     TlbConfig,
+    config_from_json,
+    config_hash,
+    config_to_json,
 )
 from .metrics import CacheStats, Metrics, MetricsInvariantError
 from .simulator import SimulationError, Simulator, simulate
@@ -20,6 +23,7 @@ __all__ = [
     "DEFAULT_CONFIG", "ELEMENT_BYTES", "ELEMENTS_PER_LINE",
     "INSTRUCTION_LATENCIES", "OP_LATENCY",
     "CacheLevelConfig", "ConfigError", "MachineConfig", "TlbConfig",
+    "config_from_json", "config_hash", "config_to_json",
     "CacheStats", "Metrics", "MetricsInvariantError",
     "SimulationError", "Simulator", "simulate",
 ]

@@ -1,0 +1,47 @@
+"""``repro.serve`` — the persistent compile/bench daemon.
+
+A resident asyncio service over a UNIX socket: parsed workloads,
+machine configs, and warm caches stay in memory; grid points are
+dispatched dynamically to a pool of worker processes; identical
+concurrent requests share one in-flight computation; and every result
+is published to the same fingerprint-sharded store the cold CLI path
+reads, so daemon and ``repro bench`` are bit-identical by
+construction.  See ``docs/SERVING.md``.
+"""
+
+from .client import (
+    AsyncServeClient,
+    ConnectionClosed,
+    ServeClient,
+    ServeError,
+)
+from .daemon import (
+    SERVE_MANIFEST_NAME,
+    DaemonHandle,
+    ReproDaemon,
+    ServeStats,
+)
+from .events import StreamingObserver
+from .fingerprint import FingerprintTracker
+from .loadtest import (
+    DEFAULT_POINTS,
+    LoadTestReport,
+    run_load_test,
+    run_load_test_sync,
+)
+from .protocol import (
+    DEFAULT_SOCKET_NAME,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "AsyncServeClient", "ConnectionClosed", "ServeClient",
+    "ServeError", "SERVE_MANIFEST_NAME", "DaemonHandle", "ReproDaemon",
+    "ServeStats", "StreamingObserver", "FingerprintTracker",
+    "DEFAULT_POINTS", "LoadTestReport", "run_load_test",
+    "run_load_test_sync", "DEFAULT_SOCKET_NAME", "MAX_FRAME_BYTES",
+    "ProtocolError", "decode_frame", "encode_frame",
+]

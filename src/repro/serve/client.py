@@ -1,0 +1,255 @@
+"""Clients for the ``repro serve`` daemon.
+
+:class:`AsyncServeClient` multiplexes any number of concurrent
+requests over **one** UNIX-socket connection: a single reader task
+routes incoming frames to per-request queues by their echoed ``id``.
+That is what lets the load-test harness sustain thousands of
+concurrent requests without opening thousands of file descriptors.
+
+:class:`ServeClient` is the blocking convenience wrapper the CLI uses
+— it owns a private event loop and forwards each call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import AsyncIterator, Callable, Optional
+
+from . import protocol
+from .protocol import (
+    FRAME_ERROR,
+    FRAME_EVENT,
+    FRAME_RESULT,
+    encode_frame,
+    read_frame,
+)
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an ``error`` frame."""
+
+    def __init__(self, message: str, frame: Optional[dict] = None):
+        super().__init__(message)
+        self.frame = frame or {}
+
+
+class ConnectionClosed(ConnectionError):
+    """The daemon hung up before answering."""
+
+
+class AsyncServeClient:
+    """One multiplexed connection to a running daemon."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+        self._pending: dict[int, asyncio.Queue] = {}
+        self._next_id = 0
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, socket_path: Path | str,
+                      timeout: float = 30.0) -> "AsyncServeClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.wait_for(
+            asyncio.open_unix_connection(
+                str(socket_path), limit=protocol.MAX_FRAME_BYTES),
+            timeout)
+        client._reader_task = asyncio.ensure_future(client._route())
+        return client
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+        self._fail_pending(ConnectionClosed("client closed"))
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------ frame routing
+    async def _route(self) -> None:
+        """Single reader: route every incoming frame by its ``id``."""
+        error: Exception = ConnectionClosed("daemon closed connection")
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                queue = self._pending.get(frame.get("id"))
+                if queue is not None:
+                    queue.put_nowait(frame)
+                # Frames for unknown ids (e.g. a reply racing a local
+                # timeout) are dropped deliberately.
+        except Exception as exc:        # noqa: BLE001 — fail all waiters
+            error = exc
+        finally:
+            self._fail_pending(error)
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for queue in pending.values():
+            queue.put_nowait(error)
+
+    # ------------------------------------------------------------ request
+    async def request(self, op: str, *, on_event: Optional[
+            Callable[[dict], None]] = None, **params) -> dict:
+        """Send one request; return the terminal ``result`` frame.
+
+        Event frames are passed to *on_event* as they arrive.  Raises
+        :class:`ServeError` on an ``error`` frame and
+        :class:`ConnectionClosed` if the daemon goes away first.
+        """
+        result: Optional[dict] = None
+        async for frame in self.stream(op, **params):
+            if frame.get("type") == FRAME_EVENT:
+                if on_event is not None:
+                    on_event(frame)
+            else:
+                result = frame
+        assert result is not None       # stream() ends on terminal frame
+        return result
+
+    async def stream(self, op: str, **params) -> AsyncIterator[dict]:
+        """Send one request; yield every frame (events included) up to
+        and including the terminal one."""
+        if self._closed:
+            raise ConnectionClosed("client closed")
+        self._next_id += 1
+        request_id = self._next_id
+        queue: asyncio.Queue = asyncio.Queue()
+        self._pending[request_id] = queue
+        frame = {"id": request_id, "op": op}
+        frame.update(params)
+        try:
+            async with self._write_lock:
+                self._writer.write(encode_frame(frame))
+                await self._writer.drain()
+            while True:
+                item = await queue.get()
+                if isinstance(item, Exception):
+                    raise item
+                yield item
+                if item.get("type") == FRAME_RESULT:
+                    return
+                if item.get("type") == FRAME_ERROR:
+                    raise ServeError(item.get("error", "unknown error"),
+                                     item)
+        finally:
+            self._pending.pop(request_id, None)
+
+    # ------------------------------------------------------ conveniences
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def status(self) -> dict:
+        return await self.request("status")
+
+    async def workloads(self) -> list[dict]:
+        return (await self.request("workloads"))["workloads"]
+
+    async def bench(self, benchmark: str, scheduler: str = "balanced",
+                    config: str = "base",
+                    machine: Optional[dict] = None,
+                    events: bool = False,
+                    on_event: Optional[Callable[[dict], None]] = None
+                    ) -> dict:
+        params = {"benchmark": benchmark, "scheduler": scheduler,
+                  "config": config}
+        if machine:
+            params["machine"] = machine
+        if events:
+            params["events"] = True
+        return await self.request("bench", on_event=on_event, **params)
+
+    async def sweep(self, benchmarks=None, schedulers=None,
+                    configs=None, machine: Optional[dict] = None,
+                    events: bool = False,
+                    on_event: Optional[Callable[[dict], None]] = None
+                    ) -> dict:
+        params = {}
+        if benchmarks:
+            params["benchmarks"] = list(benchmarks)
+        if schedulers:
+            params["schedulers"] = list(schedulers)
+        if configs:
+            params["configs"] = list(configs)
+        if machine:
+            params["machine"] = machine
+        if events:
+            params["events"] = True
+        return await self.request("sweep", on_event=on_event, **params)
+
+    async def shutdown(self) -> dict:
+        return await self.request("shutdown")
+
+
+class ServeClient:
+    """Blocking wrapper: one connection, one private event loop."""
+
+    def __init__(self, socket_path: Path | str,
+                 timeout: float = 30.0) -> None:
+        self.socket_path = Path(socket_path)
+        self._loop = asyncio.new_event_loop()
+        self._client = self._loop.run_until_complete(
+            AsyncServeClient.connect(self.socket_path, timeout))
+
+    def _run(self, coroutine):
+        return self._loop.run_until_complete(coroutine)
+
+    def request(self, op: str, **params) -> dict:
+        return self._run(self._client.request(op, **params))
+
+    def ping(self) -> dict:
+        return self._run(self._client.ping())
+
+    def status(self) -> dict:
+        return self._run(self._client.status())
+
+    def workloads(self) -> list[dict]:
+        return self._run(self._client.workloads())
+
+    def bench(self, benchmark: str, scheduler: str = "balanced",
+              config: str = "base", machine: Optional[dict] = None,
+              events: bool = False,
+              on_event: Optional[Callable[[dict], None]] = None
+              ) -> dict:
+        return self._run(self._client.bench(
+            benchmark, scheduler, config, machine=machine,
+            events=events, on_event=on_event))
+
+    def sweep(self, **kwargs) -> dict:
+        return self._run(self._client.sweep(**kwargs))
+
+    def shutdown(self) -> dict:
+        return self._run(self._client.shutdown())
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        self._run(self._client.close())
+        self._loop.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,633 @@
+"""``repro serve`` — the persistent compile/bench daemon.
+
+One asyncio event loop owns a UNIX stream socket and a pool of
+resident worker processes.  Clients send newline-delimited JSON
+requests (:mod:`repro.serve.protocol`); grid-point computations are
+dispatched to the pool **dynamically** — every point is one pool task
+pulled by whichever worker frees up first (self-scheduling, not a
+static pre-partition), so an expensive benchmark never leaves the
+other workers idle.
+
+The daemon stays correct while resident:
+
+* every result key includes the current *package fingerprint*
+  (:class:`~repro.serve.fingerprint.FingerprintTracker` re-stats the
+  tree, re-hashing only when a source changed) and the
+  :class:`~repro.machine.MachineConfig` hash, so edited sources or a
+  different machine can never be served a stale payload;
+* identical concurrent requests are **deduplicated**: the first one
+  computes, the rest await the same in-flight future and receive a
+  bit-identical payload ("served": "deduped");
+* results are published to the fingerprint-sharded
+  :class:`~repro.harness.ResultStore` shared with the cold CLI path,
+  so a daemon restart (or a plain ``repro bench``) reuses them;
+* SIGTERM/SIGINT shut down gracefully: stop accepting, drain in-flight
+  requests for ``drain_seconds``, cancel the rest with an error frame,
+  and write ``serve-manifest.json`` (marked partial iff anything was
+  cancelled) next to the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..harness.experiment import (
+    CONFIGS,
+    MANIFEST_VERSION,
+    SCHEDULERS,
+    _execute_grid_point,
+)
+from ..harness.store import ResultStore, StoreKey, atomic_write_json, \
+    source_hash
+from ..machine import (
+    DEFAULT_CONFIG,
+    ConfigError,
+    config_from_json,
+    config_hash,
+)
+from ..obs import NULL_OBSERVER
+from ..workloads.programs import WORKLOAD_ORDER, WORKLOADS
+from .events import StreamingObserver
+from .fingerprint import FingerprintTracker
+from . import protocol
+from .protocol import (
+    SERVED_CACHED,
+    SERVED_COMPUTED,
+    SERVED_DEDUPED,
+    error_frame,
+    event_frame,
+    read_frame,
+    result_frame,
+)
+
+SERVE_MANIFEST_NAME = "serve-manifest.json"
+
+
+# ------------------------------------------------------------ pool side
+def _warm_worker() -> None:
+    """Pool initializer: pre-import the whole pipeline so the first
+    request pays no import cost and fork()ed children share the parsed
+    workload table and warm module state."""
+    from ..harness import compile as _compile            # noqa: F401
+    from ..machine import fastsim as _fastsim            # noqa: F401
+    from ..workloads import programs as _programs        # noqa: F401
+
+
+def _serve_compute(benchmark: str, scheduler: str, config: str,
+                   machine_json: Optional[dict], cache_dir: str,
+                   use_cache: bool, fingerprint: str,
+                   compute_log: Optional[str] = None):
+    """One grid point, in a resident pool worker.
+
+    Returns ``(result_payload, timing_json)`` and publishes the result
+    to the sharded store so restarts and the cold CLI path reuse it.
+    """
+    workload = WORKLOADS[benchmark]
+    machine = config_from_json(machine_json) if machine_json else None
+    result, timing = _execute_grid_point(workload, scheduler, config,
+                                         observer=NULL_OBSERVER,
+                                         machine=machine)
+    payload = asdict(result)
+    if use_cache:
+        key = StoreKey(
+            benchmark=benchmark, scheduler=scheduler, config=config,
+            fingerprint=fingerprint,
+            source_hash=source_hash(workload.source),
+            machine_hash=config_hash(machine or DEFAULT_CONFIG))
+        ResultStore(Path(cache_dir)).store(key, payload)
+    if compute_log:
+        # The dedup test hook: one O_APPEND line per actual compile.
+        with open(compute_log, "a") as handle:
+            handle.write(f"{benchmark}/{scheduler}/{config}/"
+                         f"{fingerprint}\n")
+    return payload, timing.to_json()
+
+
+def _serve_sleep(seconds: float) -> float:
+    """Load-test ballast: occupy one pool worker for *seconds*."""
+    time.sleep(seconds)
+    return seconds
+
+
+# ---------------------------------------------------------------- stats
+@dataclass
+class ServeStats:
+    """Live daemon counters (the ``status`` op serializes these)."""
+
+    requests: int = 0
+    computed: int = 0
+    cached: int = 0
+    deduped: int = 0
+    errors: int = 0
+    events: int = 0
+    connections: int = 0
+    cancelled: int = 0
+    by_op: dict = field(default_factory=dict)
+
+    def count(self, op: str) -> None:
+        self.requests += 1
+        self.by_op[op] = self.by_op.get(op, 0) + 1
+
+
+class ReproDaemon:
+    """The resident compile/bench service (one instance per socket)."""
+
+    def __init__(self, socket_path: Path | str,
+                 cache_dir: Optional[Path] = None,
+                 jobs: Optional[int] = None,
+                 package_root: Optional[Path] = None,
+                 fingerprint_interval: float = 0.2,
+                 compute_log: Optional[Path] = None,
+                 drain_seconds: float = 5.0,
+                 verbose: bool = False) -> None:
+        if cache_dir is None:
+            cache_dir = Path(
+                os.environ.get("REPRO_CACHE_DIR",
+                               Path.home() / ".cache" / "repro-pldi95"))
+        self.socket_path = Path(socket_path)
+        self.cache_dir = Path(cache_dir)
+        self.use_cache = os.environ.get("REPRO_NO_CACHE") != "1"
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self.drain_seconds = drain_seconds
+        self.verbose = verbose
+        self.store = ResultStore(self.cache_dir)
+        self.tracker = FingerprintTracker(root=package_root,
+                                          interval=fingerprint_interval)
+        self.compute_log = Path(compute_log) if compute_log else None
+        self.stats = ServeStats()
+        self.started_at = time.time()
+
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._inflight: dict[StoreKey, asyncio.Future] = {}
+        self._handlers: set[asyncio.Task] = set()
+        self._served: dict[tuple, dict] = {}
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._shutting_down = False
+        self._partial = False
+        #: Set once the socket is listening (thread-safe: DaemonHandle
+        #: and the CLI block on it).
+        self.started = threading.Event()
+        self.finished = threading.Event()
+
+    # ---------------------------------------------------------- lifecycle
+    async def serve(self) -> None:
+        """Run until a shutdown request (signal or ``shutdown`` op)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        self._install_signal_handlers()
+        if self.use_cache:
+            self.store.reap_orphans()
+        self._pool = ProcessPoolExecutor(max_workers=self.jobs,
+                                         initializer=_warm_worker)
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        with contextlib.suppress(OSError):
+            self.socket_path.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._on_client, path=str(self.socket_path),
+            limit=protocol.MAX_FRAME_BYTES)
+        # Warm the fingerprint before the first request arrives.
+        self.tracker.current()
+        self._log(f"listening on {self.socket_path} "
+                  f"({self.jobs} workers)")
+        self.started.set()
+        try:
+            await self._stop_requested.wait()
+            await self._shutdown()
+        finally:
+            self.finished.set()
+
+    def request_shutdown(self) -> None:
+        """Thread- and signal-safe shutdown trigger."""
+        if self._loop is None or self._stop_requested is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_requested.set)
+
+    def _install_signal_handlers(self) -> None:
+        try:
+            self._loop.add_signal_handler(signal.SIGTERM,
+                                          self.request_shutdown)
+            self._loop.add_signal_handler(signal.SIGINT,
+                                          self.request_shutdown)
+        except (NotImplementedError, RuntimeError, ValueError):
+            # Not the main thread (embedded/tests): the owner calls
+            # request_shutdown() directly.
+            pass
+
+    async def _shutdown(self) -> None:
+        if self._shutting_down:
+            return
+        self._shutting_down = True
+        self._log("shutting down: draining in-flight requests")
+        self._server.close()
+        await self._server.wait_closed()
+        pending: set[asyncio.Task] = set(self._handlers)
+        if pending:
+            done, pending = await asyncio.wait(
+                pending, timeout=self.drain_seconds)
+        if pending:
+            # Could not drain in time: cancel, which lands in each
+            # handler as a "daemon shutting down" error frame.
+            self._partial = True
+            self.stats.cancelled += len(pending)
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        if self.use_cache:
+            self._write_manifest()
+        self._log(f"served {self.stats.requests} requests "
+                  f"({self.stats.computed} computed, "
+                  f"{self.stats.cached} cached, "
+                  f"{self.stats.deduped} deduped)")
+
+    # ---------------------------------------------------------- manifest
+    @property
+    def manifest_path(self) -> Path:
+        return self.cache_dir / SERVE_MANIFEST_NAME
+
+    def _write_manifest(self) -> None:
+        """Run-manifest-shaped record of everything this daemon served
+        (obs-diff consumes it), marked partial iff shutdown had to
+        cancel in-flight work."""
+        runs = sorted(self._served.values(),
+                      key=lambda r: (r["benchmark"], r["scheduler"],
+                                     r["config"]))
+        payload = {
+            "version": MANIFEST_VERSION,
+            "kind": "serve",
+            "partial": self._partial,
+            "fingerprint": self.tracker.current(),
+            "jobs": self.jobs,
+            "grid_points": len(runs),
+            "executed": self.stats.computed,
+            "cached": self.stats.cached,
+            "wall_seconds": round(time.time() - self.started_at, 3),
+            "simulated_instructions": sum(
+                r.get("simulated_instructions", 0) for r in runs),
+            "stats": asdict(self.stats),
+            "runs": runs,
+        }
+        atomic_write_json(self.manifest_path, payload)
+
+    def _record_served(self, key: StoreKey, payload: dict,
+                       served: str, timing: Optional[dict]) -> None:
+        entry_key = key.point + (key.machine_hash,)
+        entry = self._served.get(entry_key)
+        if entry is None:
+            entry = {
+                "benchmark": key.benchmark,
+                "scheduler": key.scheduler,
+                "config": key.config,
+                "machine_hash": key.machine_hash,
+                "cached": served == SERVED_CACHED,
+                "phase_seconds": {},
+                "total_seconds": 0.0,
+                "simulated_instructions": payload.get(
+                    "instructions", 0),
+                "total_cycles": payload.get("total_cycles", 0),
+                "load_interlock_cycles": payload.get(
+                    "load_interlock_cycles", 0),
+                "serves": 0,
+            }
+            self._served[entry_key] = entry
+        if timing is not None:
+            entry["cached"] = False
+            entry["phase_seconds"] = timing.get("phase_seconds", {})
+            entry["total_seconds"] = timing.get("total_seconds", 0.0)
+            entry["sim_mode"] = timing.get("sim_mode")
+            entry["instructions_per_second"] = timing.get(
+                "instructions_per_second", 0.0)
+        entry["serves"] += 1
+
+    # ------------------------------------------------------- connections
+    async def _on_client(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        self.stats.connections += 1
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def send(frame: dict) -> None:
+            async with write_lock:
+                writer.write(protocol.encode_frame(frame))
+                await writer.drain()
+
+        def push(frame: dict) -> None:
+            # Synchronous buffered write: frames are appended whole,
+            # in call order, so an event pushed before the handler
+            # awaits its terminal send() is guaranteed to precede it
+            # on the wire.  Event volume is small; drain happens with
+            # the next send().
+            if not writer.is_closing():
+                writer.write(protocol.encode_frame(frame))
+
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except (protocol.ProtocolError, ValueError) as exc:
+                    await send(error_frame(None, str(exc)))
+                    break
+                if frame is None:
+                    break
+                task = asyncio.ensure_future(
+                    self._handle_request(frame, send, push))
+                tasks.add(task)
+                self._handlers.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._handlers.discard)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    # ---------------------------------------------------------- requests
+    async def _handle_request(self, frame: dict, send,
+                              push) -> None:
+        rid = frame.get("id")
+        op = frame.get("op")
+        self.stats.count(str(op))
+        try:
+            if op == "ping":
+                await send(result_frame(
+                    rid, op, ok=True, pid=os.getpid(),
+                    fingerprint=self.tracker.current()))
+            elif op == "status":
+                await send(result_frame(rid, op, **self._status()))
+            elif op == "workloads":
+                await send(result_frame(rid, op, workloads=[
+                    {"name": w, "description":
+                        WORKLOADS[w].description}
+                    for w in WORKLOAD_ORDER]))
+            elif op == "sleep":
+                seconds = float(frame.get("seconds", 0.0))
+                await asyncio.get_running_loop().run_in_executor(
+                    self._pool, _serve_sleep, seconds)
+                await send(result_frame(rid, op, seconds=seconds))
+            elif op == "bench":
+                await self._bench(rid, frame, send, push)
+            elif op == "sweep":
+                await self._sweep(rid, frame, send, push)
+            elif op == "shutdown":
+                await send(result_frame(rid, op, ok=True))
+                self.request_shutdown()
+            else:
+                raise ValueError(
+                    f"unknown op {op!r} (known: "
+                    f"{', '.join(protocol.OPS)})")
+        except asyncio.CancelledError:
+            # Daemon shutdown cancelled us mid-request: tell the
+            # client before the connection goes away.
+            self.stats.errors += 1
+            with contextlib.suppress(Exception):
+                await send(error_frame(rid, "daemon shutting down",
+                                       shutdown=True))
+            raise
+        except Exception as exc:
+            self.stats.errors += 1
+            with contextlib.suppress(Exception):
+                await send(error_frame(rid, str(exc)))
+
+    def _status(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            "socket": str(self.socket_path),
+            "cache_dir": str(self.cache_dir),
+            "use_cache": self.use_cache,
+            "jobs": self.jobs,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "fingerprint": self.tracker.current(),
+            "fingerprint_rehashes": self.tracker.rehashes,
+            "inflight": len(self._inflight),
+            "served_points": len(self._served),
+            "stats": asdict(self.stats),
+        }
+
+    # ------------------------------------------------------- grid points
+    def _parse_point(self, frame: dict) -> tuple:
+        benchmark = frame.get("benchmark")
+        if benchmark not in WORKLOADS:
+            raise ValueError(
+                f"unknown benchmark {benchmark!r} "
+                f"(known: {', '.join(WORKLOAD_ORDER)})")
+        scheduler = frame.get("scheduler", "balanced")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {scheduler!r} "
+                             f"(known: {', '.join(SCHEDULERS)})")
+        config = frame.get("config", "base")
+        if config not in CONFIGS:
+            raise ValueError(f"unknown config {config!r} "
+                             f"(known: {', '.join(CONFIGS)})")
+        return benchmark, scheduler, config
+
+    def _parse_machine(self, frame: dict) -> tuple[Optional[dict], str]:
+        machine_json = frame.get("machine")
+        if not machine_json:
+            return None, config_hash(DEFAULT_CONFIG)
+        if not isinstance(machine_json, dict):
+            raise ValueError("'machine' must be an object of "
+                             "MachineConfig overrides")
+        try:
+            machine = config_from_json(machine_json)
+            machine.validate()
+        except (TypeError, ConfigError) as exc:
+            raise ValueError(f"bad machine config: {exc}") from exc
+        return machine_json, config_hash(machine)
+
+    async def _bench(self, rid, frame: dict, send,
+                     push) -> None:
+        benchmark, scheduler, config = self._parse_point(frame)
+        machine_json, machine_hash = self._parse_machine(frame)
+        observer = self._observer_for(rid, frame, push)
+        payload, served, meta = await self._point(
+            benchmark, scheduler, config, machine_json, machine_hash,
+            observer)
+        await send(result_frame(rid, "bench", result=payload,
+                                served=served, **meta))
+
+    async def _sweep(self, rid, frame: dict, send,
+                     push) -> None:
+        benchmarks = frame.get("benchmarks") or list(WORKLOAD_ORDER)
+        schedulers = frame.get("schedulers") or list(SCHEDULERS)
+        configs = frame.get("configs") or list(CONFIGS)
+        machine_json, machine_hash = self._parse_machine(frame)
+        grid = [(b, s, c) for b in benchmarks for s in schedulers
+                for c in configs]
+        for benchmark, scheduler, config in grid:
+            self._parse_point({"benchmark": benchmark,
+                               "scheduler": scheduler,
+                               "config": config})
+        observer = self._observer_for(rid, frame, push)
+        # Dynamic (self-scheduling) distribution: every point becomes
+        # one pool task immediately; whichever worker frees up first
+        # pulls the next one off the shared queue.
+        with observer.span("sweep", points=len(grid)):
+            outcomes = await asyncio.gather(*[
+                self._point(b, s, c, machine_json, machine_hash,
+                            observer)
+                for b, s, c in grid])
+        served_counts: dict[str, int] = {}
+        results = []
+        for (payload, served, _meta), (b, s, c) in zip(outcomes, grid):
+            served_counts[served] = served_counts.get(served, 0) + 1
+            results.append({"benchmark": b, "scheduler": s,
+                            "config": c, "served": served,
+                            "result": payload})
+        await send(result_frame(rid, "sweep", results=results,
+                                served=served_counts,
+                                points=len(grid)))
+
+    def _observer_for(self, rid, frame: dict, push):
+        if not frame.get("events"):
+            return NULL_OBSERVER
+
+        def emit(name: str, **attrs) -> None:
+            self.stats.events += 1
+            push(event_frame(rid, name, **attrs))
+
+        return StreamingObserver(emit)
+
+    async def _point(self, benchmark: str, scheduler: str, config: str,
+                     machine_json: Optional[dict], machine_hash: str,
+                     observer) -> tuple[dict, str, dict]:
+        """Resolve one grid point: store hit, in-flight dedup, or a
+        fresh pool computation (in that order)."""
+        fingerprint = self.tracker.current()
+        workload = WORKLOADS[benchmark]
+        key = StoreKey(benchmark=benchmark, scheduler=scheduler,
+                       config=config, fingerprint=fingerprint,
+                       source_hash=source_hash(workload.source),
+                       machine_hash=machine_hash)
+        meta = {"key": key.digest[:16], "fingerprint": fingerprint}
+        # NB: everything between here and registering the in-flight
+        # future is synchronous, so the lookup-then-register sequence
+        # is atomic on the event loop — two identical requests can
+        # never both start a computation.
+        if self.use_cache:
+            payload = self.store.load(key)
+            if payload is not None:
+                self.stats.cached += 1
+                observer.event("point.cached", benchmark=benchmark,
+                               scheduler=scheduler, config=config)
+                self._record_served(key, payload, SERVED_CACHED, None)
+                return payload, SERVED_CACHED, meta
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.stats.deduped += 1
+            observer.event("point.dedup", benchmark=benchmark,
+                           scheduler=scheduler, config=config)
+            # shield(): this client cancelling (or being dropped at
+            # shutdown) must not cancel the shared computation.
+            payload = await asyncio.shield(inflight)
+            self._record_served(key, payload, SERVED_DEDUPED, None)
+            return payload, SERVED_DEDUPED, meta
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        # Waiters always retrieve the result; if there are none, keep
+        # asyncio from logging "exception was never retrieved".
+        future.add_done_callback(
+            lambda f: f.cancelled() or f.exception())
+        self._inflight[key] = future
+        try:
+            with observer.span("point.compute", benchmark=benchmark,
+                               scheduler=scheduler, config=config):
+                payload, timing = await loop.run_in_executor(
+                    self._pool, _serve_compute, benchmark, scheduler,
+                    config, machine_json, str(self.cache_dir),
+                    self.use_cache, fingerprint,
+                    str(self.compute_log) if self.compute_log
+                    else None)
+            self.stats.computed += 1
+            observer.event("point.phases", benchmark=benchmark,
+                           scheduler=scheduler, config=config,
+                           sim_mode=timing.get("sim_mode"),
+                           **{f"seconds_{phase}": round(seconds, 6)
+                              for phase, seconds in
+                              timing.get("phase_seconds", {}).items()})
+            future.set_result(payload)
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        self._record_served(key, payload, SERVED_COMPUTED, timing)
+        return payload, SERVED_COMPUTED, meta
+
+    # ------------------------------------------------------------- misc
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            import sys
+            print(f"repro serve: {message}", file=sys.stderr,
+                  flush=True)
+
+
+class DaemonHandle:
+    """A daemon running on a background thread (tests, embedding).
+
+    ``DaemonHandle.start(...)`` returns once the socket is listening;
+    ``stop()`` triggers the same graceful shutdown path as SIGTERM and
+    joins the thread.
+    """
+
+    def __init__(self, daemon: ReproDaemon,
+                 thread: threading.Thread) -> None:
+        self.daemon = daemon
+        self.thread = thread
+        self.error: Optional[BaseException] = None
+
+    @classmethod
+    def start(cls, timeout: float = 30.0, **kwargs) -> "DaemonHandle":
+        daemon = ReproDaemon(**kwargs)
+        handle: "DaemonHandle" = cls.__new__(cls)
+
+        def _run() -> None:
+            try:
+                asyncio.run(daemon.serve())
+            except BaseException as exc:   # surfaced via handle.error
+                handle.error = exc
+                daemon.started.set()
+                daemon.finished.set()
+
+        thread = threading.Thread(target=_run, name="repro-serve",
+                                  daemon=True)
+        handle.__init__(daemon, thread)
+        thread.start()
+        if not daemon.started.wait(timeout):
+            raise RuntimeError("daemon failed to start in time")
+        if handle.error is not None:
+            raise RuntimeError("daemon failed to start") \
+                from handle.error
+        return handle
+
+    @property
+    def socket_path(self) -> Path:
+        return self.daemon.socket_path
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.daemon.request_shutdown()
+        self.daemon.finished.wait(timeout)
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("daemon did not stop in time")
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.thread.is_alive():
+            self.stop()

@@ -1,0 +1,81 @@
+"""Streaming progress events: the ``repro.obs`` Observer, bridged to a
+connected client.
+
+The daemon threads a :class:`StreamingObserver` through its own
+request handling; every span and event becomes a protocol ``event``
+frame on the requesting client's connection.  Grid-point computations
+run in pool worker processes, so in-worker phase timings arrive with
+the worker's reply and are re-emitted here as ``point.phases`` before
+the terminal result frame — the client sees one coherent, ordered
+stream either way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..obs import Observer
+
+#: An emit callback: receives (event-name, attrs-dict).
+Emit = Callable[..., None]
+
+
+class _StreamedSpan:
+    """Context manager emitting ``<name>.start`` / ``<name>.end``
+    frames, the end frame carrying the wall-clock duration and any
+    :meth:`annotate`-ed attributes."""
+
+    __slots__ = ("_observer", "_name", "_attrs", "_start")
+
+    def __init__(self, observer: "StreamingObserver", name: str,
+                 attrs: dict) -> None:
+        self._observer = observer
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def annotate(self, **attrs) -> None:
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_StreamedSpan":
+        self._start = time.perf_counter()
+        self._observer.emit(f"{self._name}.start", **self._attrs)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._observer.emit(
+            f"{self._name}.end",
+            seconds=round(time.perf_counter() - self._start, 6),
+            **self._attrs)
+        return False
+
+
+class StreamingObserver(Observer):
+    """Observer whose spans/events are forwarded to a client."""
+
+    enabled = True
+
+    def __init__(self, emit: Emit) -> None:
+        self._emit = emit
+        self.events_emitted = 0
+
+    def emit(self, name: str, **attrs) -> None:
+        self.events_emitted += 1
+        self._emit(name, **attrs)
+
+    # ---------------------------------------------------- Observer API
+    def span(self, name: str, **attrs):
+        return _StreamedSpan(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        self.emit(name, **attrs)
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def stall_profile(self, benchmark: str, scheduler: str = "",
+                      config: str = ""):
+        # Stall attribution needs in-process simulation; the daemon
+        # computes in pool workers, so none is collected here.
+        return None

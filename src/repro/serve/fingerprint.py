@@ -1,0 +1,67 @@
+"""Package-fingerprint tracking for a resident daemon.
+
+A cold CLI process hashes the package sources once and dies; a daemon
+lives across source edits, so it must notice them or it will serve
+results computed by code that no longer exists.  Re-hashing every
+source file on every request is needless (the tree rarely changes), so
+:class:`FingerprintTracker` keeps a stat snapshot — ``(path, size,
+mtime_ns)`` for every ``*.py`` under the package root — and only
+re-hashes when the snapshot changes.  The snapshot itself is refreshed
+at most every *interval* seconds; ``0`` means re-stat on every call
+(used by tests that edit sources under a live daemon and expect the
+very next request to miss).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional
+
+from ..harness.experiment import _package_fingerprint
+
+
+def _snapshot(root: Path) -> tuple:
+    rows = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        rows.append((str(path), stat.st_size, stat.st_mtime_ns))
+    return tuple(rows)
+
+
+class FingerprintTracker:
+    """Cheaply keeps :func:`_package_fingerprint` current."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 interval: float = 0.2,
+                 clock=time.monotonic) -> None:
+        if root is None:
+            # The repro package root (mirrors _package_fingerprint).
+            root = Path(__file__).resolve().parent.parent
+        self.root = Path(root)
+        self.interval = interval
+        self._clock = clock
+        self._checked_at: Optional[float] = None
+        self._snapshot: Optional[tuple] = None
+        self._fingerprint: Optional[str] = None
+        #: Full re-hashes performed (observability; the daemon's
+        #: status op reports it).
+        self.rehashes = 0
+
+    def current(self) -> str:
+        """The up-to-date package fingerprint."""
+        now = self._clock()
+        if (self._fingerprint is not None
+                and self._checked_at is not None
+                and now - self._checked_at < self.interval):
+            return self._fingerprint
+        snapshot = _snapshot(self.root)
+        self._checked_at = now
+        if snapshot != self._snapshot:
+            self._snapshot = snapshot
+            self._fingerprint = _package_fingerprint(self.root)
+            self.rehashes += 1
+        return self._fingerprint

@@ -1,0 +1,169 @@
+"""Load-test harness for the ``repro serve`` daemon.
+
+Replays many concurrent ``bench`` requests against a running daemon —
+multiplexed over a bounded number of connections — and then *proves*
+the serving path honest:
+
+* every response for the same grid point must be **bit-identical**
+  (canonical-JSON compare of the full result payload);
+* optionally, each unique point is recomputed through the cold
+  in-process path (:func:`repro.harness.experiment._execute_grid_point`
+  — exactly what ``repro bench`` runs) and the served payloads must
+  match it bit-for-bit;
+* dedup is verified from the daemon's own counters: a cold store plus
+  N requests over K unique points must compute at most K times.
+
+Used by ``repro serve-load`` and the CI ``serve-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..harness.experiment import _execute_grid_point
+from ..workloads.programs import WORKLOADS
+from .client import AsyncServeClient
+
+#: Default request mix: cheap points so thousands of requests finish
+#: in CI time while still exercising compile + simulate.
+DEFAULT_POINTS: tuple[tuple[str, str, str], ...] = (
+    ("ora", "balanced", "base"),
+    ("ora", "traditional", "base"),
+    ("ora", "balanced", "lu4"),
+    ("ora", "traditional", "lu4"),
+)
+
+
+def canonical(payload: dict) -> str:
+    """Canonical JSON for bit-identity comparison."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class LoadTestReport:
+    """Outcome of one load-test run (shape is CI-assertable JSON)."""
+
+    requests: int
+    connections: int
+    unique_points: int
+    wall_seconds: float
+    requests_per_second: float
+    served: dict = field(default_factory=dict)
+    computed_delta: int = 0
+    deduped: int = 0
+    cached: int = 0
+    errors: list = field(default_factory=list)
+    identical: bool = True
+    cold_verified: Optional[bool] = None
+    mismatches: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (not self.errors and self.identical
+                and self.cold_verified is not False)
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["ok"] = self.ok
+        return data
+
+
+async def run_load_test(
+        socket_path: Path | str,
+        requests: int = 1000,
+        connections: int = 32,
+        points: Sequence[tuple[str, str, str]] = DEFAULT_POINTS,
+        verify_cold: bool = False,
+        machine: Optional[dict] = None) -> LoadTestReport:
+    """Fire *requests* concurrent bench requests and audit the replies."""
+    points = list(points)
+    connections = max(1, min(connections, requests))
+    before_stats = None
+    clients = [await AsyncServeClient.connect(socket_path)
+               for _ in range(connections)]
+    errors: list[str] = []
+    replies: list[Optional[dict]] = [None] * requests
+    try:
+        before_stats = (await clients[0].status())["stats"]
+        start = time.perf_counter()
+
+        async def one(index: int) -> None:
+            benchmark, scheduler, config = points[index % len(points)]
+            client = clients[index % connections]
+            try:
+                replies[index] = await client.bench(
+                    benchmark, scheduler, config, machine=machine)
+            except Exception as exc:    # noqa: BLE001 — audit later
+                errors.append(f"request {index} "
+                              f"({benchmark}/{scheduler}/{config}): "
+                              f"{exc}")
+
+        await asyncio.gather(*[one(i) for i in range(requests)])
+        wall = time.perf_counter() - start
+        after_stats = (await clients[0].status())["stats"]
+    finally:
+        for client in clients:
+            await client.close()
+
+    served: dict[str, int] = {}
+    by_point: dict[tuple[str, str, str], dict[str, list[int]]] = {}
+    for index, reply in enumerate(replies):
+        if reply is None:
+            continue
+        served[reply.get("served", "?")] = \
+            served.get(reply.get("served", "?"), 0) + 1
+        point = points[index % len(points)]
+        by_point.setdefault(point, {}).setdefault(
+            canonical(reply["result"]), []).append(index)
+
+    mismatches: list[str] = []
+    for point, variants in sorted(by_point.items()):
+        if len(variants) > 1:
+            sizes = sorted(len(ids) for ids in variants.values())
+            mismatches.append(
+                f"{'/'.join(point)}: {len(variants)} distinct payloads "
+                f"across {sum(sizes)} replies")
+    identical = not mismatches
+
+    cold_verified: Optional[bool] = None
+    if verify_cold and identical and not errors:
+        cold_verified = True
+        for point, variants in sorted(by_point.items()):
+            benchmark, scheduler, config = point
+            result, _timing = _execute_grid_point(
+                WORKLOADS[benchmark], scheduler, config)
+            expected = canonical(asdict(result))
+            got = next(iter(variants))
+            if got != expected:
+                cold_verified = False
+                mismatches.append(
+                    f"{'/'.join(point)}: served payload differs from "
+                    f"cold CLI path")
+
+    return LoadTestReport(
+        requests=requests,
+        connections=connections,
+        unique_points=len(by_point),
+        wall_seconds=round(wall, 3),
+        requests_per_second=round(requests / wall, 1) if wall else 0.0,
+        served=served,
+        computed_delta=(after_stats["computed"]
+                       - before_stats["computed"]),
+        deduped=after_stats["deduped"] - before_stats["deduped"],
+        cached=after_stats["cached"] - before_stats["cached"],
+        errors=errors,
+        identical=identical,
+        cold_verified=cold_verified,
+        mismatches=mismatches,
+    )
+
+
+def run_load_test_sync(socket_path: Path | str,
+                       **kwargs) -> LoadTestReport:
+    """Blocking wrapper around :func:`run_load_test`."""
+    return asyncio.run(run_load_test(socket_path, **kwargs))

@@ -1,0 +1,131 @@
+"""Wire protocol of the ``repro serve`` daemon.
+
+The transport is a UNIX stream socket carrying newline-delimited JSON
+objects ("JSON lines") in both directions — trivially debuggable with
+``nc -U`` and free of any third-party dependency.
+
+Requests
+--------
+One JSON object per line.  Every request carries a client-chosen ``id``
+(echoed on every frame of the reply, so requests can be pipelined and
+multiplexed over one connection) and an ``op``::
+
+    {"id": 1, "op": "ping"}
+    {"id": 2, "op": "status"}
+    {"id": 3, "op": "workloads"}
+    {"id": 4, "op": "bench", "benchmark": "ora",
+     "scheduler": "balanced", "config": "base",
+     "machine": {"issue_width": 2},      # optional machine overrides
+     "events": true}                      # optional progress stream
+    {"id": 5, "op": "sweep", "benchmarks": ["ora"],
+     "schedulers": ["balanced"], "configs": ["base", "lu4"],
+     "events": true}
+    {"id": 6, "op": "sleep", "seconds": 0.5}   # load-testing aid
+    {"id": 7, "op": "shutdown"}
+
+Responses
+---------
+Zero or more *event* frames followed by exactly one terminal frame —
+``result`` or ``error``::
+
+    {"id": 4, "type": "event", "name": "point.start",
+     "benchmark": "ora", "scheduler": "balanced", "config": "base"}
+    {"id": 4, "type": "result", "op": "bench", "result": {...},
+     "served": "computed", "key": "...", "fingerprint": "..."}
+    {"id": 9, "type": "error", "error": "unknown benchmark 'nope'"}
+
+``served`` says how the daemon satisfied the request: ``"computed"``
+(this request ran the pool worker), ``"deduped"`` (it piggybacked on
+another client's identical in-flight computation), or ``"cached"``
+(served from the sharded result store).  Identical requests always
+yield bit-identical ``result`` payloads regardless of the path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+#: Frame types (daemon -> client).
+FRAME_EVENT = "event"
+FRAME_RESULT = "result"
+FRAME_ERROR = "error"
+
+#: How a result was satisfied.
+SERVED_COMPUTED = "computed"
+SERVED_DEDUPED = "deduped"
+SERVED_CACHED = "cached"
+
+#: Known request operations.
+OPS = ("ping", "status", "workloads", "bench", "sweep", "sleep",
+       "shutdown")
+
+#: Hard cap on one frame line (a full RunResult with swp loop stats is
+#: a few tens of KB; 32 MB leaves room without letting a hostile peer
+#: balloon the reader).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Default daemon socket filename (created inside the cache dir, whose
+#: path is short enough for ``sun_path``'s 108-byte limit in practice).
+DEFAULT_SOCKET_NAME = "serve.sock"
+
+
+class ProtocolError(ValueError):
+    """A malformed frame (not JSON, not an object, oversized...)."""
+
+
+def encode_frame(frame: dict) -> bytes:
+    """One frame -> one newline-terminated JSON line."""
+    return (json.dumps(frame, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode()
+
+
+def decode_frame(line: bytes) -> dict:
+    """One received line -> frame dict.  Raises ProtocolError."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds "
+                            f"{MAX_FRAME_BYTES}")
+    try:
+        frame = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"bad frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}")
+    return frame
+
+
+def event_frame(request_id, name: str, **attrs) -> dict:
+    frame = {"id": request_id, "type": FRAME_EVENT, "name": name}
+    frame.update(attrs)
+    return frame
+
+
+def result_frame(request_id, op: str, **payload) -> dict:
+    frame = {"id": request_id, "type": FRAME_RESULT, "op": op}
+    frame.update(payload)
+    return frame
+
+
+def error_frame(request_id, message: str, **attrs) -> dict:
+    frame = {"id": request_id, "type": FRAME_ERROR, "error": message}
+    frame.update(attrs)
+    return frame
+
+
+async def read_frame(reader) -> Optional[dict]:
+    """Next frame from an asyncio StreamReader; None at clean EOF."""
+    import asyncio
+
+    try:
+        line = await reader.readline()
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    if not line:
+        return None
+    if not line.endswith(b"\n") and len(line) >= MAX_FRAME_BYTES:
+        raise ProtocolError("unterminated oversized frame")
+    line = line.strip()
+    if not line:
+        return None
+    return decode_frame(line)

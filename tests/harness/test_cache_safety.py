@@ -26,11 +26,15 @@ def runner(tmp_path, monkeypatch):
 class TestAtomicStore:
     def test_store_leaves_no_temp_files(self, runner):
         result = runner.run("ora", "balanced", "base")
-        files = sorted(p.name for p in runner.cache_dir.iterdir())
+        files = sorted(p for p in runner.cache_dir.rglob("*")
+                       if p.is_file())
         assert len(files) == 1
-        assert files[0].endswith(".json")
-        assert not [name for name in files if name.endswith(".tmp")]
-        data = json.loads((runner.cache_dir / files[0]).read_text())
+        assert files[0].name.endswith(".json")
+        # Entries are sharded: <cache>/<2-hex-digits>/<entry>.json.
+        assert files[0].parent.parent == runner.cache_dir
+        assert len(files[0].parent.name) == 2
+        assert not [p for p in files if p.name.endswith(".tmp")]
+        data = json.loads(files[0].read_text())
         assert data["total_cycles"] == result.total_cycles
 
     def test_atomic_write_replaces_existing(self, tmp_path):
@@ -50,7 +54,7 @@ class TestAtomicStore:
 class TestTornCacheFile:
     def test_truncated_entry_recomputed_not_crashed(self, runner):
         result = runner.run("ora", "balanced", "base")
-        (path,) = runner.cache_dir.glob("ora-*.json")
+        (path,) = runner.cache_dir.rglob("ora-*.json")
         full = path.read_text()
         # A torn write: only the first half of the JSON made it out.
         path.write_text(full[:len(full) // 2])
@@ -60,7 +64,7 @@ class TestTornCacheFile:
 
     def test_truncated_entry_is_refreshed_on_disk(self, runner):
         runner.run("ora", "balanced", "base")
-        (path,) = runner.cache_dir.glob("ora-*.json")
+        (path,) = runner.cache_dir.rglob("ora-*.json")
         path.write_text("{\"benchmark\": \"ora\", ")
         fresh = ExperimentRunner(cache_dir=runner.cache_dir)
         fresh.run("ora", "balanced", "base")

@@ -82,7 +82,8 @@ class TestRunnerCaching:
         runner = ExperimentRunner(cache_dir=tmp_path)
         first = runner.run("ora", "balanced", "base")
         assert isinstance(first, RunResult)
-        cached_files = list(tmp_path.glob("*.json"))
+        cached_files = [f for f in tmp_path.rglob("*.json")
+                        if f.name != "run-manifest.json"]
         assert len(cached_files) == 1
         # A fresh runner must reuse the file rather than re-simulating.
         runner2 = ExperimentRunner(cache_dir=tmp_path)
@@ -99,13 +100,13 @@ class TestRunnerCaching:
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         runner = ExperimentRunner(cache_dir=tmp_path)
         runner.run("ora", "balanced", "base")
-        assert not list(tmp_path.glob("*.json"))
+        assert not list(tmp_path.rglob("*.json"))
 
     def test_corrupt_cache_entry_recomputed(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
         runner = ExperimentRunner(cache_dir=tmp_path)
         result = runner.run("ora", "balanced", "base")
-        (path,) = tmp_path.glob("*.json")
+        (path,) = tmp_path.rglob("*.json")
         path.write_text("{not json")
         runner2 = ExperimentRunner(cache_dir=tmp_path)
         again = runner2.run("ora", "balanced", "base")

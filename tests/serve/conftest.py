@@ -1,0 +1,52 @@
+"""Fixtures for the serve tests: daemons on background threads.
+
+There is no async test plugin in the toolchain, so each test runs the
+daemon on a worker thread (its own event loop) via
+:class:`repro.serve.DaemonHandle` and drives the client with
+``asyncio.run`` from the test body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.serve import DaemonHandle
+
+
+@pytest.fixture
+def daemon_factory(tmp_path, monkeypatch):
+    """Start daemons with short socket paths and a per-test cache.
+
+    The socket lives in its own short ``mkdtemp`` dir (pytest tmp
+    paths can brush against ``sun_path``'s 108-byte limit); the cache
+    defaults to ``tmp_path / "cache"`` so tests can inspect the store.
+    """
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    handles: list[DaemonHandle] = []
+
+    def start(**kwargs) -> DaemonHandle:
+        sock_dir = Path(tempfile.mkdtemp(prefix="rsv"))
+        kwargs.setdefault("socket_path", sock_dir / "s.sock")
+        kwargs.setdefault("cache_dir", tmp_path / "cache")
+        kwargs.setdefault("jobs", 2)
+        # interval=0: every request re-stats the package tree, so
+        # source edits are seen by the very next request.
+        kwargs.setdefault("fingerprint_interval", 0)
+        kwargs.setdefault("drain_seconds", 30.0)
+        handle = DaemonHandle.start(**kwargs)
+        handles.append(handle)
+        return handle
+
+    yield start
+    for handle in handles:
+        if handle.thread.is_alive():
+            handle.stop()
+
+
+def run(coroutine):
+    """Run one client coroutine against a threaded daemon."""
+    return asyncio.run(coroutine)

@@ -1,0 +1,145 @@
+"""Daemon request handling: ops, caching, machine keys, events, and
+equivalence with the cold CLI path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import ExperimentRunner
+from repro.serve import AsyncServeClient, ServeClient, ServeError
+
+from .conftest import run
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class TestBasicOps:
+    def test_ping_status_workloads(self, daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            ping = client.ping()
+            assert ping["ok"] is True
+            assert ping["fingerprint"]
+            status = client.status()
+            assert status["jobs"] == 2
+            assert status["use_cache"] is True
+            assert status["stats"]["requests"] >= 1
+            names = [w["name"] for w in client.workloads()]
+            assert "ora" in names and "tomcatv" in names
+
+    def test_unknown_op_is_an_error(self, daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            with pytest.raises(ServeError, match="unknown op"):
+                client.request("frobnicate")
+
+    def test_unknown_benchmark_is_an_error(self, daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            with pytest.raises(ServeError, match="unknown benchmark"):
+                client.bench("nope")
+            # The connection survives an error frame.
+            assert client.ping()["ok"] is True
+
+    def test_bad_machine_config_is_an_error(self, daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            with pytest.raises(ServeError, match="bad machine config"):
+                client.bench("ora", machine={"isue_width": 2})
+
+
+class TestServing:
+    def test_computed_then_cached_bit_identical(self, daemon_factory,
+                                                tmp_path):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            first = client.bench("ora")
+            second = client.bench("ora")
+        assert first["served"] == "computed"
+        assert second["served"] == "cached"
+        assert canonical(first["result"]) == \
+            canonical(second["result"])
+        # The result landed in the sharded store (2-hex shard dirs).
+        entries = [p for p in (tmp_path / "cache").rglob("*.json")
+                   if p.name != "serve-manifest.json"]
+        assert entries
+        assert all(len(p.parent.name) == 2 for p in entries)
+
+    def test_sweep_op(self, daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            reply = client.sweep(benchmarks=["ora"],
+                                 configs=["base", "lu4"])
+        assert reply["points"] == 4
+        assert sum(reply["served"].values()) == 4
+        cycles = {(r["benchmark"], r["scheduler"], r["config"]):
+                  r["result"]["total_cycles"]
+                  for r in reply["results"]}
+        assert all(v > 0 for v in cycles.values())
+        # Balanced must not be worse than traditional on base ora.
+        assert cycles[("ora", "balanced", "base")] <= \
+            cycles[("ora", "traditional", "base")]
+
+    def test_event_stream_precedes_result(self, daemon_factory):
+        handle = daemon_factory()
+
+        async def go():
+            async with await AsyncServeClient.connect(
+                    handle.socket_path) as client:
+                frames = []
+                async for frame in client.stream(
+                        "bench", benchmark="ora", events=True):
+                    frames.append(frame)
+                return frames
+
+        frames = run(go())
+        kinds = [f["type"] for f in frames]
+        # All events strictly before the single terminal result.
+        assert kinds[-1] == "result"
+        assert set(kinds[:-1]) == {"event"}
+        names = [f["name"] for f in frames[:-1]]
+        assert "point.compute.start" in names
+        assert "point.phases" in names
+
+    def test_machine_config_gets_its_own_result(self, daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            scalar = client.bench("ora")
+            dual = client.bench("ora", machine={"issue_width": 2})
+            dual_again = client.bench("ora",
+                                      machine={"issue_width": 2})
+        assert scalar["served"] == "computed"
+        assert dual["served"] == "computed"        # distinct key
+        assert dual_again["served"] == "cached"
+        assert dual["result"]["total_cycles"] < \
+            scalar["result"]["total_cycles"]
+        assert dual["key"] != scalar["key"]
+
+
+class TestColdPathEquivalence:
+    def test_daemon_results_serve_the_cold_cli_cache(
+            self, daemon_factory, tmp_path, monkeypatch):
+        """A point computed by the daemon is a cache hit for the cold
+        ``repro bench`` path — same sharded store, same key."""
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            served = client.bench("ora")
+        handle.stop()
+
+        from repro.harness import experiment
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("cold path recomputed a point the "
+                                 "daemon already served")
+
+        monkeypatch.setattr(experiment, "_execute_grid_point", _boom)
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache")
+        result = runner.run("ora", "balanced", "base")
+        assert result.total_cycles == \
+            served["result"]["total_cycles"]
+        assert result.load_interlock_cycles == \
+            served["result"]["load_interlock_cycles"]

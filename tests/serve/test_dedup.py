@@ -1,0 +1,75 @@
+"""Request dedup: N simultaneous requests for the same uncached grid
+point must compute exactly once, and every client gets a bit-identical
+payload (ISSUE satellite: compile-count hook)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve import AsyncServeClient
+
+from .conftest import run
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class TestDedup:
+    def test_n_simultaneous_requests_compute_once(self, daemon_factory,
+                                                  tmp_path):
+        compute_log = tmp_path / "computes.log"
+        handle = daemon_factory(compute_log=compute_log)
+        n_clients = 24
+
+        async def go():
+            clients = [await AsyncServeClient.connect(
+                handle.socket_path) for _ in range(n_clients)]
+            try:
+                replies = await asyncio.gather(*[
+                    c.bench("ora", "balanced", "lu4")
+                    for c in clients])
+            finally:
+                for c in clients:
+                    await c.close()
+            async with await AsyncServeClient.connect(
+                    handle.socket_path) as c:
+                status = await c.status()
+            return replies, status
+
+        replies, status = run(go())
+
+        # The compile-count hook: exactly one line per actual compile.
+        lines = compute_log.read_text().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("ora/balanced/lu4/")
+        assert status["stats"]["computed"] == 1
+
+        # Every reply is terminal, bit-identical, and accounted for.
+        assert len(replies) == n_clients
+        payloads = {canonical(r["result"]) for r in replies}
+        assert len(payloads) == 1
+        served = [r["served"] for r in replies]
+        assert served.count("computed") == 1
+        # The rest piggybacked in-flight or hit the store if they
+        # arrived after completion; none recomputed.
+        assert all(s in ("computed", "deduped", "cached")
+                   for s in served)
+
+    def test_distinct_points_do_not_dedup(self, daemon_factory,
+                                          tmp_path):
+        compute_log = tmp_path / "computes.log"
+        handle = daemon_factory(compute_log=compute_log)
+
+        async def go():
+            async with await AsyncServeClient.connect(
+                    handle.socket_path) as client:
+                return await asyncio.gather(
+                    client.bench("ora", "balanced", "base"),
+                    client.bench("ora", "traditional", "base"))
+
+        first, second = run(go())
+        assert canonical(first["result"]) != \
+            canonical(second["result"])
+        assert len(compute_log.read_text().splitlines()) == 2

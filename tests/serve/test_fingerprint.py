@@ -1,0 +1,70 @@
+"""FingerprintTracker: edits are noticed, unchanged trees are cheap."""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness.experiment import _package_fingerprint
+from repro.serve.fingerprint import FingerprintTracker
+
+
+def _pkg(tmp_path, body="x = 1\n"):
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "mod.py").write_text(body)
+    return root
+
+
+class TestTracking:
+    def test_matches_cold_fingerprint(self, tmp_path):
+        root = _pkg(tmp_path)
+        tracker = FingerprintTracker(root=root, interval=0)
+        assert tracker.current() == _package_fingerprint(root)
+
+    def test_edit_changes_fingerprint(self, tmp_path):
+        root = _pkg(tmp_path)
+        tracker = FingerprintTracker(root=root, interval=0)
+        before = tracker.current()
+        (root / "mod.py").write_text("x = 2\n")
+        assert tracker.current() != before
+
+    def test_new_file_changes_fingerprint(self, tmp_path):
+        root = _pkg(tmp_path)
+        tracker = FingerprintTracker(root=root, interval=0)
+        before = tracker.current()
+        (root / "extra.py").write_text("y = 3\n")
+        assert tracker.current() != before
+
+    def test_unchanged_tree_never_rehashes(self, tmp_path):
+        root = _pkg(tmp_path)
+        tracker = FingerprintTracker(root=root, interval=0)
+        for _ in range(10):
+            tracker.current()
+        assert tracker.rehashes == 1           # only the initial hash
+
+    def test_same_size_touch_rehashes(self, tmp_path):
+        # mtime_ns is part of the snapshot, so even a content-neutral
+        # touch forces a re-hash (the fingerprint then comes out
+        # unchanged, which is the correct answer).
+        root = _pkg(tmp_path)
+        tracker = FingerprintTracker(root=root, interval=0)
+        before = tracker.current()
+        os.utime(root / "mod.py", ns=(1, 1))
+        assert tracker.current() == before
+        assert tracker.rehashes == 2
+
+
+class TestThrottle:
+    def test_interval_throttles_stats(self, tmp_path):
+        root = _pkg(tmp_path)
+        now = [0.0]
+        tracker = FingerprintTracker(root=root, interval=5.0,
+                                     clock=lambda: now[0])
+        before = tracker.current()
+        (root / "mod.py").write_text("x = 99\n")
+        # Within the interval the cached fingerprint is served.
+        now[0] = 4.9
+        assert tracker.current() == before
+        # Past the interval the edit is noticed.
+        now[0] = 5.1
+        assert tracker.current() != before

@@ -1,0 +1,45 @@
+"""The load-test harness itself, at acceptance-criteria scale: 1000
+concurrent requests, dedup verified, every payload bit-identical to
+the cold CLI path."""
+
+from __future__ import annotations
+
+from repro.serve.loadtest import (
+    DEFAULT_POINTS,
+    run_load_test,
+)
+
+from .conftest import run
+
+
+class TestLoadTest:
+    def test_thousand_concurrent_requests_cold_store(
+            self, daemon_factory):
+        handle = daemon_factory(jobs=4)
+        report = run(run_load_test(
+            handle.socket_path, requests=1000, connections=32,
+            verify_cold=True))
+        assert report.ok, (report.errors, report.mismatches)
+        assert report.requests == 1000
+        assert report.unique_points == len(DEFAULT_POINTS)
+        # Dedup: a cold store means exactly one compute per point.
+        assert report.computed_delta == len(DEFAULT_POINTS)
+        assert report.deduped + report.cached == \
+            1000 - len(DEFAULT_POINTS)
+        # Bit-identity, both among replies and against the cold
+        # in-process path (what ``repro bench`` runs).
+        assert report.identical is True
+        assert report.cold_verified is True
+        assert not report.mismatches
+
+    def test_warm_store_serves_everything_cached(self,
+                                                 daemon_factory):
+        handle = daemon_factory(jobs=4)
+        first = run(run_load_test(handle.socket_path, requests=100,
+                                  connections=8))
+        assert first.ok
+        second = run(run_load_test(handle.socket_path, requests=100,
+                                   connections=8))
+        assert second.ok
+        assert second.computed_delta == 0
+        assert second.served.get("cached") == 100

@@ -1,0 +1,74 @@
+"""Wire-protocol unit tests: framing, limits, builders."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    FRAME_ERROR,
+    FRAME_EVENT,
+    FRAME_RESULT,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    event_frame,
+    result_frame,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = {"id": 7, "op": "bench", "benchmark": "ora",
+                 "machine": {"issue_width": 2}}
+        wire = encode_frame(frame)
+        assert wire.endswith(b"\n")
+        assert wire.count(b"\n") == 1          # one frame, one line
+        assert decode_frame(wire.rstrip(b"\n")) == frame
+
+    def test_compact_and_deterministic(self):
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b                          # sort_keys
+        assert b" " not in a                   # compact separators
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ProtocolError, match="bad frame"):
+            decode_frame(b"{nope")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1,2,3]")
+
+    def test_oversized_raises(self):
+        blob = b"x" * (MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(blob)
+
+
+class TestBuilders:
+    def test_event_frame(self):
+        frame = event_frame(3, "point.start", benchmark="ora")
+        assert frame == {"id": 3, "type": FRAME_EVENT,
+                         "name": "point.start", "benchmark": "ora"}
+
+    def test_result_frame(self):
+        frame = result_frame(4, "bench", result={"x": 1},
+                             served="cached")
+        assert frame["type"] == FRAME_RESULT
+        assert frame["op"] == "bench"
+        assert frame["served"] == "cached"
+
+    def test_error_frame(self):
+        frame = error_frame(None, "boom", shutdown=True)
+        assert frame["type"] == FRAME_ERROR
+        assert frame["id"] is None
+        assert frame["shutdown"] is True
+
+    def test_frames_are_json_lines(self):
+        for frame in (event_frame(1, "e"), result_frame(1, "ping"),
+                      error_frame(1, "x")):
+            assert json.loads(encode_frame(frame)) == frame

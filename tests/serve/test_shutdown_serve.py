@@ -1,0 +1,138 @@
+"""Daemon shutdown semantics: graceful drain, cancelled in-flight
+requests, SIGTERM to a real ``repro serve`` process — every path must
+leave a well-formed serve-manifest with an honest ``partial`` flag."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import (
+    AsyncServeClient,
+    ConnectionClosed,
+    ServeClient,
+    ServeError,
+)
+from repro.serve.daemon import SERVE_MANIFEST_NAME
+
+from .conftest import run
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+class TestGraceful:
+    def test_idle_stop_writes_complete_manifest(self, daemon_factory,
+                                                tmp_path):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            client.bench("ora")
+        handle.stop()
+        manifest = json.loads(
+            (tmp_path / "cache" / SERVE_MANIFEST_NAME).read_text())
+        assert manifest["partial"] is False
+        assert manifest["kind"] == "serve"
+        assert manifest["grid_points"] == 1
+        (entry,) = manifest["runs"]
+        assert entry["benchmark"] == "ora"
+        assert entry["total_cycles"] > 0
+        assert entry["load_interlock_cycles"] >= 0
+
+    def test_inflight_request_drains_before_stop(self, daemon_factory,
+                                                 tmp_path):
+        # Drain window (30s in the fixture) far exceeds the request:
+        # shutdown must wait for it and stay non-partial.
+        handle = daemon_factory()
+
+        async def go():
+            async with await AsyncServeClient.connect(
+                    handle.socket_path) as client:
+                task = asyncio.ensure_future(
+                    client.request("sleep", seconds=0.5))
+                await asyncio.sleep(0.2)
+                handle.daemon.request_shutdown()
+                return await task
+
+        reply = run(go())
+        assert reply["seconds"] == 0.5
+        handle.thread.join(30)
+        manifest = json.loads(
+            (tmp_path / "cache" / SERVE_MANIFEST_NAME).read_text())
+        assert manifest["partial"] is False
+
+
+class TestCancelled:
+    def test_undrainable_request_marks_manifest_partial(
+            self, daemon_factory, tmp_path):
+        handle = daemon_factory(drain_seconds=0.2)
+
+        async def go():
+            async with await AsyncServeClient.connect(
+                    handle.socket_path) as client:
+                task = asyncio.ensure_future(
+                    client.request("sleep", seconds=10))
+                await asyncio.sleep(0.3)   # reaches the pool worker
+                handle.daemon.request_shutdown()
+                try:
+                    await task
+                except (ServeError, ConnectionClosed) as exc:
+                    return exc
+                pytest.fail("cancelled request did not error out")
+
+        error = run(go())
+        if isinstance(error, ServeError):
+            assert "shutting down" in str(error)
+        handle.thread.join(30)
+        manifest = json.loads(
+            (tmp_path / "cache" / SERVE_MANIFEST_NAME).read_text())
+        assert manifest["partial"] is True
+        assert manifest["stats"]["cancelled"] >= 1
+
+
+class TestSigterm:
+    def test_sigterm_to_real_daemon_is_graceful(self, tmp_path):
+        cache = tmp_path / "cache"
+        sock = str(tmp_path / "s.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        env["REPRO_CACHE_DIR"] = str(cache)
+        env.pop("REPRO_NO_CACHE", None)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock,
+             "--jobs", "2", "--quiet"],
+            cwd=REPO, env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.time() + 60
+            reply = None
+            while time.time() < deadline:
+                if proc.poll() is not None:
+                    pytest.fail("daemon exited before serving")
+                if os.path.exists(sock):
+                    try:
+                        with ServeClient(sock, timeout=5) as client:
+                            reply = client.bench("ora")
+                        break
+                    except (OSError, ConnectionError):
+                        pass
+                time.sleep(0.05)
+            assert reply is not None, "daemon never became reachable"
+            assert reply["served"] == "computed"
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 0        # graceful, not a crash
+        manifest = json.loads(
+            (cache / SERVE_MANIFEST_NAME).read_text())
+        assert manifest["partial"] is False
+        assert any(r["benchmark"] == "ora" for r in manifest["runs"])

@@ -1,0 +1,54 @@
+"""Cache-key correctness under a live daemon: editing package sources
+must turn the very next identical request into a miss (ISSUE
+satellite: no stale results from a resident process)."""
+
+from __future__ import annotations
+
+from repro.harness.store import ResultStore
+from repro.serve import ServeClient
+
+
+def _pkg(tmp_path):
+    root = tmp_path / "fakepkg"
+    root.mkdir()
+    (root / "mod.py").write_text("version = 1\n")
+    return root
+
+
+class TestStaleness:
+    def test_source_edit_invalidates_live_daemon(self, daemon_factory,
+                                                 tmp_path):
+        pkg = _pkg(tmp_path)
+        handle = daemon_factory(package_root=pkg)
+        with ServeClient(handle.socket_path) as client:
+            first = client.bench("ora")
+            warm = client.bench("ora")
+            # Edit a "package source" under the running daemon.
+            (pkg / "mod.py").write_text("version = 2\n")
+            after_edit = client.bench("ora")
+            warm_again = client.bench("ora")
+        assert first["served"] == "computed"
+        assert warm["served"] == "cached"
+        # fingerprint_interval=0 in the fixture: the edit is seen by
+        # the very next request, which must recompute.
+        assert after_edit["served"] == "computed"
+        assert after_edit["fingerprint"] != first["fingerprint"]
+        assert after_edit["key"] != first["key"]
+        assert warm_again["served"] == "cached"
+        # Both generations live in the store under their own keys.
+        store = ResultStore(tmp_path / "cache")
+        names = [p.name for p in store.entries()]
+        assert len(names) == 2
+        assert all(name.startswith("ora-balanced-base-")
+                   for name in names)
+
+    def test_identical_rewrite_is_not_a_miss(self, daemon_factory,
+                                             tmp_path):
+        pkg = _pkg(tmp_path)
+        handle = daemon_factory(package_root=pkg)
+        with ServeClient(handle.socket_path) as client:
+            client.bench("ora")
+            # Same bytes, new mtime: re-stat + re-hash, same key.
+            (pkg / "mod.py").write_text("version = 1\n")
+            again = client.bench("ora")
+        assert again["served"] == "cached"

@@ -11,8 +11,13 @@ Commands:
 * ``profile BENCH``  — compile + simulate one benchmark with full
   observability: stall-attribution table, schedule provenance, and a
   Perfetto-loadable trace;
+* ``oracle [NAMES]`` — combinatorial scheduling oracle: certified
+  optimal block schedules and loop IIs, reported as the "heuristic
+  gap" vs balanced/traditional scheduling (``--oracle-budget`` caps
+  the search; bailed proofs are reported honestly, never inflated);
 * ``obs-diff A B``   — compare two run manifests and flag cycle /
-  load-interlock regressions beyond a threshold;
+  load-interlock regressions beyond a threshold (plus heuristic-gap
+  regressions when both manifests carry an oracle section);
 * ``check [BENCH]``  — static analysis: validated compiles plus lints
   over benchmarks; exits non-zero iff an error diagnostic is found;
 * ``workloads``      — list the 17 benchmarks;
@@ -24,7 +29,10 @@ Commands:
 Common compiler flags: ``--scheduler {balanced,traditional,none}``,
 ``--unroll {0,4,8}``, ``--trace``, ``--locality``, ``--swp``,
 ``--issue-width N``.  ``bench``/``tables``/``report`` accept
-``--configs a,b,c`` (or ``REPRO_CONFIGS``) to restrict the grid,
+``--oracle`` to run the scheduling oracle alongside the grid (the gap
+summary is attached to the run manifest and, for ``report``, rendered
+as its own section), ``--configs a,b,c`` (or ``REPRO_CONFIGS``) to
+restrict the grid,
 ``--trace [PREFIX]`` to record a pipeline trace (JSONL + Chrome
 trace-event files, written at ``PREFIX.jsonl`` / ``PREFIX.chrome.json``),
 and ``--validate-ir`` (or ``REPRO_VALIDATE_IR=1``) to re-check the IR
@@ -160,6 +168,57 @@ def _apply_sim_flag(args: argparse.Namespace) -> None:
                 f"(expected 'fast' or 'reference')")
 
 
+def _add_oracle_budget_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--oracle-budget", type=int, default=None, metavar="NODES",
+        help="search-node budget per block/loop (default: 200000; "
+             "deterministic — results are bit-stable for a fixed "
+             "budget)")
+
+
+def _add_oracle_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--oracle", action="store_true",
+        help="also run the scheduling oracle (base config) and attach "
+             "the heuristic-gap summary to the run manifest")
+    _add_oracle_budget_flag(parser)
+
+
+def _oracle_runner(args: argparse.Namespace):
+    from .oracle import DEFAULT_BUDGET, OracleBudget, OracleRunner
+
+    budget = DEFAULT_BUDGET
+    if args.oracle_budget is not None:
+        if args.oracle_budget <= 0:
+            raise SystemExit(
+                f"repro: --oracle-budget must be > 0, "
+                f"got {args.oracle_budget}")
+        budget = OracleBudget(max_nodes=args.oracle_budget)
+    return OracleRunner(jobs=_resolve_jobs(args.jobs), budget=budget)
+
+
+def _run_oracle(args: argparse.Namespace, runner,
+                benchmarks: list[str] | None = None) -> None:
+    """Oracle sweep for ``--oracle``: print the summary, attach it to
+    the run manifest (manifest v4) when one was written."""
+    from .oracle import attach_oracle, oracle_summary
+
+    oracle = _oracle_runner(args)
+    payloads = oracle.sweep(benchmarks=benchmarks, configs=["base"])
+    summary = oracle_summary(payloads)
+    totals = summary["totals"]
+    print(f"oracle (budget {summary['budget']}): "
+          f"{totals['blocks_certified']}/{totals['blocks']} blocks "
+          f"certified, {totals['loops_certified']}/{totals['loops']} "
+          f"loops certified, {totals['loops_beyond_heuristic']} loops "
+          f"settled beyond the heuristic", file=sys.stderr)
+    if runner is not None and runner.use_cache \
+            and runner.manifest_path.exists():
+        attach_oracle(runner.manifest_path, summary)
+        print(f"oracle section attached: {runner.manifest_path}",
+              file=sys.stderr)
+
+
 def _make_observer(args: argparse.Namespace) -> Observer:
     if getattr(args, "trace", None) is None:
         return NULL_OBSERVER
@@ -248,6 +307,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                       f"{100 * result.load_interlock_fraction:>9.1f}%")
     if runner.use_cache:
         print(f"run manifest: {runner.manifest_path}", file=sys.stderr)
+    if args.oracle:
+        _run_oracle(args, runner, benchmarks=names)
     _finish_trace(observer, args)
     return 0
 
@@ -278,6 +339,8 @@ def cmd_tables(args: argparse.Namespace) -> int:
         table = fn() if number <= 3 else fn(runner)
         print()
         print(table.format())
+    if args.oracle:
+        _run_oracle(args, runner)
     _finish_trace(observer, args)
     return 0
 
@@ -292,12 +355,18 @@ def cmd_report(args: argparse.Namespace) -> int:
                               jobs=_resolve_jobs(args.jobs),
                               observer=observer)
     configs = _resolve_configs(args)
+    oracle = _oracle_runner(args) if args.oracle else None
     if args.output:
-        text = write_report(args.output, runner, configs=configs)
+        text = write_report(args.output, runner, configs=configs,
+                            oracle=oracle)
         print(f"report written to {args.output}", file=sys.stderr)
     else:
-        text = build_report(runner, configs=configs)
+        text = build_report(runner, configs=configs, oracle=oracle)
     print(text)
+    if args.oracle:
+        # The report already swept the oracle grid (memoized); this
+        # only prints the one-line summary and attaches manifest v4.
+        _run_oracle(args, runner)
     _finish_trace(observer, args)
     return 0
 
@@ -354,6 +423,63 @@ def cmd_profile(args: argparse.Namespace) -> int:
     paths = observer.write(args.out)
     print(f"\ntrace written: {paths['jsonl']}, {paths['chrome']}",
           file=sys.stderr)
+    return 0
+
+
+def cmd_oracle(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .oracle import oracle_summary
+
+    names = args.names or list(WORKLOAD_ORDER)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise SystemExit(
+            f"repro oracle: unknown benchmark(s) "
+            f"{', '.join(unknown)} (known: "
+            f"{', '.join(WORKLOAD_ORDER)})")
+    configs = _resolve_configs(args) or ["base"]
+    oracle = _oracle_runner(args)
+    oracle.verbose = True
+    payloads = oracle.sweep(benchmarks=names, configs=configs)
+    if args.json:
+        print(_json.dumps(payloads if args.full
+                          else oracle_summary(payloads),
+                          indent=2, sort_keys=True))
+        return 0
+    header = (f"{'benchmark':<11}{'config':<9}{'gap-bal':>9}"
+              f"{'gap-trad':>10}{'blocks':>10}{'loops':>8}"
+              f"{'beyond':>8}{'nodes':>12}")
+    print(header)
+    print("-" * len(header))
+    for payload in payloads:
+        s = payload["summary"]
+        print(f"{payload['benchmark']:<11}{payload['config']:<9}"
+              f"{s['gap']['balanced']:>9.4f}"
+              f"{s['gap']['traditional']:>10.4f}"
+              f"{s['blocks_certified']:>7}/{s['blocks']:<2}"
+              f"{s['loops_certified']:>5}/{s['loops']:<2}"
+              f"{s['loops_beyond_heuristic']:>7}"
+              f"{s['nodes']:>12}")
+    beyond = [(p["benchmark"], loop)
+              for p in payloads for loop in p["loops"]
+              if loop["beyond_heuristic"]]
+    if beyond:
+        print(f"\nloops settled beyond the iterative scheduler "
+              f"({len(beyond)}):")
+        for bench, loop in beyond:
+            heur = loop["heuristic_ii"] or "none"
+            if loop["status"] == "optimal":
+                verdict = f"proven optimal II={loop['optimal_ii']}"
+            else:
+                verdict = f"certified II >= {loop['certified_lb']}"
+            print(f"  {bench} {loop['label']}: MII={loop['mii']}, "
+                  f"heuristic II={heur}, {verdict}")
+    totals = oracle_summary(payloads)["totals"]
+    print(f"\nbudget {payloads[0]['budget']}: "
+          f"{totals['blocks_certified']}/{totals['blocks']} blocks "
+          f"certified, {totals['loops_certified']}/{totals['loops']} "
+          f"loops certified (bailed proofs count as not certified)")
     return 0
 
 
@@ -487,6 +613,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_trace_flag(p_bench)
     _add_validate_flag(p_bench)
     _add_sim_flag(p_bench)
+    _add_oracle_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -497,6 +624,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_trace_flag(p_tables)
     _add_validate_flag(p_tables)
     _add_sim_flag(p_tables)
+    _add_oracle_flags(p_tables)
     p_tables.set_defaults(fn=cmd_tables)
 
     p_report = sub.add_parser("report",
@@ -507,7 +635,24 @@ def main(argv: list[str] | None = None) -> int:
     _add_trace_flag(p_report)
     _add_validate_flag(p_report)
     _add_sim_flag(p_report)
+    _add_oracle_flags(p_report)
     p_report.set_defaults(fn=cmd_report)
+
+    p_oracle = sub.add_parser(
+        "oracle",
+        help="certified-optimal schedules and the heuristic gap")
+    p_oracle.add_argument("names", nargs="*",
+                          help="benchmark names (default: all)")
+    p_oracle.add_argument("--json", action="store_true",
+                          help="print the manifest-ready summary as "
+                               "JSON")
+    p_oracle.add_argument("--full", action="store_true",
+                          help="with --json: full per-block/per-loop "
+                               "payloads instead of the summary")
+    _add_configs_flag(p_oracle, "base")
+    _add_jobs_flag(p_oracle)
+    _add_oracle_budget_flag(p_oracle)
+    p_oracle.set_defaults(fn=cmd_oracle)
 
     p_profile = sub.add_parser(
         "profile",

@@ -76,8 +76,11 @@ MANIFEST_NAME = "run-manifest.json"
 
 #: Manifest schema version.  v3 added the ``partial`` flag (graceful
 #: shutdown writes a well-formed manifest for the completed prefix of
-#: the grid) and machine-config-aware cache keys.
-MANIFEST_VERSION = 3
+#: the grid) and machine-config-aware cache keys.  v4 added the
+#: optional ``oracle`` section (heuristic-gap summary from
+#: ``repro.oracle``, attached by the ``--oracle`` CLI flag and gated
+#: by ``repro obs-diff``).
+MANIFEST_VERSION = 4
 
 
 @dataclass
@@ -206,6 +209,9 @@ class Manifest:
     runs: list[ManifestRun] = field(default_factory=list)
     modulo: Optional[dict] = None
     trace: Optional[dict] = None
+    #: Heuristic-gap summary (:func:`repro.oracle.gap.oracle_summary`),
+    #: attached after the sweep when ``--oracle`` is given (v4).
+    oracle: Optional[dict] = None
     #: True when the sweep was interrupted (SIGTERM/SIGINT, a worker
     #: death) and the manifest covers only the completed grid points.
     partial: bool = False
@@ -217,6 +223,8 @@ class Manifest:
             del data["modulo"]
         if self.trace is None:
             del data["trace"]
+        if self.oracle is None:
+            del data["oracle"]
         return data
 
     def run_for(self, benchmark: str, scheduler: str,
@@ -243,6 +251,7 @@ def parse_manifest(data: dict) -> Manifest:
         runs=runs,
         modulo=data.get("modulo"),
         trace=data.get("trace"),
+        oracle=data.get("oracle"),
         partial=data.get("partial", False))
 
 

@@ -25,6 +25,10 @@ from typing import Optional
 #: level absolute changes).
 MIN_INTERLOCK_DELTA = 50
 
+#: Heuristic-gap increases below this absolute amount are never
+#: flagged (a 1.0001 -> 1.0003 wiggle is not a scheduling regression).
+MIN_GAP_DELTA = 0.005
+
 
 @dataclass
 class PointDelta:
@@ -83,6 +87,10 @@ class DiffResult:
     deltas: list[PointDelta] = field(default_factory=list)
     only_base: list[str] = field(default_factory=list)
     only_new: list[str] = field(default_factory=list)
+    #: Heuristic-gap regressions from the manifests' ``oracle``
+    #: sections (manifest v4); empty when either side lacks one.
+    oracle_regressions: list[str] = field(default_factory=list)
+    oracle_points: int = 0
 
     @property
     def regressed(self) -> list[tuple[PointDelta, list[str]]]:
@@ -95,11 +103,13 @@ class DiffResult:
 
     @property
     def ok(self) -> bool:
-        return not self.regressed
+        return not self.regressed and not self.oracle_regressions
 
     def format(self) -> str:
         lines = [f"compared {len(self.deltas)} grid point(s), "
                  f"threshold {100 * self.threshold:.2f}%"]
+        if self.oracle_points:
+            lines[0] += f" (+ {self.oracle_points} oracle point(s))"
         for delta in self.deltas:
             mark = "REGRESSED" if delta.regressions(self.threshold) \
                 else "ok"
@@ -118,6 +128,8 @@ class DiffResult:
         for delta, reasons in self.regressed:
             for reason in reasons:
                 lines.append(f"  !! {delta.key}: {reason}")
+        for reason in self.oracle_regressions:
+            lines.append(f"  !! oracle: {reason}")
         if self.ok:
             lines.append("no regressions")
         return "\n".join(lines)
@@ -132,12 +144,48 @@ def _index_runs(manifest: dict) -> dict[str, dict]:
     return runs
 
 
+def _diff_oracle(base: dict, new: dict,
+                 threshold: float) -> tuple[list[str], int]:
+    """Gate the heuristic-gap sections of two v4 manifests.
+
+    Flags, per oracle point present in the baseline: a balanced or
+    traditional gap that grew beyond the relative threshold (the
+    heuristic drifted away from the certified optimum), any drop in
+    certified blocks/loops (lost proving power — usually a budget or
+    encoding change), and lost beyond-heuristic loop proofs.
+    """
+    reasons: list[str] = []
+    base_points = base.get("points", {})
+    new_points = new.get("points", {})
+    for key, b in sorted(base_points.items()):
+        n = new_points.get(key)
+        if n is None:
+            reasons.append(f"{key} missing from new manifest")
+            continue
+        for name in ("gap_balanced", "gap_traditional"):
+            delta = n.get(name, 0.0) - b.get(name, 0.0)
+            if b.get(name) and delta > MIN_GAP_DELTA \
+                    and delta / b[name] > threshold:
+                reasons.append(
+                    f"{key}: {name} {b[name]} -> {n[name]}")
+        for name in ("blocks_certified", "loops_certified",
+                     "loops_beyond_heuristic"):
+            if n.get(name, 0) < b.get(name, 0):
+                reasons.append(
+                    f"{key}: {name} dropped "
+                    f"{b.get(name, 0)} -> {n.get(name, 0)}")
+    return reasons, len(base_points)
+
+
 def diff_manifests(base: dict, new: dict,
                    threshold: float = 0.02) -> DiffResult:
     """Compare two run-manifest dicts; see the module docstring."""
     base_runs = _index_runs(base)
     new_runs = _index_runs(new)
     result = DiffResult(threshold=threshold)
+    if base.get("oracle") and new.get("oracle"):
+        result.oracle_regressions, result.oracle_points = _diff_oracle(
+            base["oracle"], new["oracle"], threshold)
     for key, base_entry in base_runs.items():
         new_entry = new_runs.get(key)
         if new_entry is None:

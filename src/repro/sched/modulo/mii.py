@@ -16,6 +16,8 @@
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Optional
 
 from ...machine import MachineConfig
 from .deps import DepEdge, LoopDeps
@@ -77,8 +79,117 @@ def rec_mii(deps: LoopDeps) -> int:
     return hi
 
 
+@dataclass(frozen=True)
+class RecurrenceWitness:
+    """Certificate for RecMII: the critical recurrence cycle.
+
+    The cycle's edges sum to ``latency`` total latency over ``distance``
+    loop-carried iterations, so any II below ``ceil(latency/distance)``
+    leaves the recurrence unsatisfiable.  Extracted at ``RecMII - 1``
+    (where the cycle is still positive), which pins the bound exactly:
+    ``ii_bound == rec_mii``.
+    """
+
+    ops: tuple            # op indices around the cycle, dependence order
+    kinds: tuple          # edge kind per hop (ops[i] -> ops[i+1])
+    latency: int          # sum of edge latencies around the cycle
+    distance: int         # sum of edge distances around the cycle
+
+    @property
+    def ii_bound(self) -> int:
+        return math.ceil(self.latency / self.distance)
+
+    def describe(self, deps: LoopDeps) -> str:
+        names = [f"{deps.ops[i].op}@{i}" for i in self.ops]
+        chain = " -> ".join(names + [names[0]] if names else [])
+        return (f"{chain} (latency {self.latency} / "
+                f"distance {self.distance} => II >= {self.ii_bound})")
+
+    def to_json(self) -> dict:
+        return {
+            "ops": list(self.ops),
+            "kinds": list(self.kinds),
+            "latency": self.latency,
+            "distance": self.distance,
+            "ii_bound": self.ii_bound,
+        }
+
+
+def recurrence_witness(deps: LoopDeps,
+                       rec: Optional[int] = None
+                       ) -> Optional[RecurrenceWitness]:
+    """Extract the critical recurrence certifying ``rec_mii``.
+
+    Runs the positive-cycle test at ``rec_mii - 1`` with predecessor
+    tracking and walks the predecessor chain into the cycle.  Returns
+    None when no recurrence binds (``rec_mii == 1``).
+    """
+    if rec is None:
+        rec = rec_mii(deps)
+    if rec <= 1:
+        return None
+    n = len(deps.ops)
+    ii = rec - 1
+    dist = [0] * n
+    pred: list[Optional[DepEdge]] = [None] * n
+    start: Optional[int] = None
+    for _ in range(n):
+        changed = False
+        for e in deps.edges:
+            w = e.latency - e.distance * ii
+            if dist[e.src] + w > dist[e.dst]:
+                dist[e.dst] = dist[e.src] + w
+                pred[e.dst] = e
+                changed = True
+        if not changed:
+            break
+    for e in deps.edges:
+        w = e.latency - e.distance * ii
+        if dist[e.src] + w > dist[e.dst]:
+            pred[e.dst] = e
+            start = e.dst
+            break
+    if start is None:
+        return None
+    # Walk n predecessor hops to guarantee we are inside the cycle,
+    # then collect it.
+    node = start
+    for _ in range(n):
+        edge = pred[node]
+        assert edge is not None
+        node = edge.src
+    cycle_edges: list[DepEdge] = []
+    cursor = node
+    while True:
+        edge = pred[cursor]
+        assert edge is not None
+        cycle_edges.append(edge)
+        cursor = edge.src
+        if cursor == node:
+            break
+    cycle_edges.reverse()
+    latency = sum(e.latency for e in cycle_edges)
+    distance = sum(e.distance for e in cycle_edges)
+    if distance <= 0 or latency - distance * ii <= 0:
+        return None           # not a binding cycle; fail safe
+    return RecurrenceWitness(
+        ops=tuple(e.src for e in cycle_edges),
+        kinds=tuple(e.kind for e in cycle_edges),
+        latency=latency, distance=distance)
+
+
 def compute_mii(deps: LoopDeps, config: MachineConfig) -> tuple[int, int, int]:
     """Return ``(res_mii, rec_mii, mii)``."""
     res = res_mii(deps, config)
     rec = rec_mii(deps)
     return res, rec, max(res, rec)
+
+
+def compute_mii_detailed(
+        deps: LoopDeps, config: MachineConfig
+) -> tuple[int, int, int, Optional[RecurrenceWitness]]:
+    """``(res_mii, rec_mii, mii, witness)`` — the witness names the
+    critical recurrence whenever the recurrence bound binds."""
+    res = res_mii(deps, config)
+    rec = rec_mii(deps)
+    return res, rec, max(res, rec), recurrence_witness(deps, rec)

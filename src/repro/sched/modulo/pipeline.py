@@ -38,7 +38,7 @@ from ...machine import MachineConfig
 from ..weights import WeightModel
 from .deps import analyze_deps, match_loop
 from .kernel import Mve, build_pipeline, plan_mve
-from .mii import compute_mii
+from .mii import compute_mii_detailed
 from .scheduler import modulo_schedule
 from .stats import (
     REASON_NO_II,
@@ -126,8 +126,10 @@ def _pipeline_one(cfg: Cfg, header: str, config: MachineConfig,
         return bail
 
     deps = analyze_deps(shape.ops, config, model)
-    res, rec, mii = compute_mii(deps, config)
+    res, rec, mii, witness = compute_mii_detailed(deps, config)
     bail.res_mii, bail.rec_mii, bail.mii = res, rec, mii
+    recurrence = witness.to_json() if witness is not None else None
+    bail.recurrence = recurrence
 
     sched = None
     for ii in range(mii, II_RANGE_FACTOR * mii + 1):
@@ -158,4 +160,5 @@ def _pipeline_one(cfg: Cfg, header: str, config: MachineConfig,
     return LoopPipelineStats(
         label=header, pipelined=True, n_ops=n_ops,
         res_mii=res, rec_mii=rec, mii=mii, ii=sched.ii,
-        stages=sched.stage_count, unroll=mve.ku)
+        stages=sched.stage_count, unroll=mve.ku,
+        recurrence=recurrence)

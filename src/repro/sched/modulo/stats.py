@@ -39,6 +39,11 @@ class LoopPipelineStats:
     ii: int = 0                       # achieved initiation interval
     stages: int = 0                   # SC: pipeline depth in stages
     unroll: int = 0                   # KU: kernel unroll from MVE
+    #: Certifying critical recurrence for RecMII (serialized
+    #: :class:`~repro.sched.modulo.mii.RecurrenceWitness`), present
+    #: whenever a dependence cycle binds the II from below — this is
+    #: *why* RecMII is what it is.
+    recurrence: Optional[dict] = None
 
     @property
     def ii_over_mii(self) -> float:
@@ -58,6 +63,7 @@ class LoopPipelineStats:
             "ii": self.ii,
             "stages": self.stages,
             "unroll": self.unroll,
+            "recurrence": self.recurrence,
         }
 
 

@@ -116,3 +116,68 @@ def test_diff_manifest_files(tmp_path):
     bad.write_text("{not json")
     with pytest.raises(ValueError):
         diff_manifest_files(bad, new_path)
+
+
+def _oracle_section(**point_over):
+    point = {
+        "gap_balanced": 1.05, "gap_traditional": 1.4,
+        "blocks": 6, "blocks_certified": 5,
+        "loops": 2, "loops_certified": 2,
+        "loops_beyond_heuristic": 1,
+    }
+    point.update(point_over)
+    return {"schema": 1, "budget": "n1000",
+            "points": {"ear/base": point},
+            "totals": {}}
+
+
+def test_oracle_sections_identical_ok():
+    base = dict(BASE, version=4, oracle=_oracle_section())
+    new = dict(BASE, version=4, oracle=_oracle_section())
+    result = diff_manifests(base, new)
+    assert result.ok
+    assert result.oracle_points == 1
+    assert "1 oracle point(s)" in result.format()
+
+
+def test_oracle_gap_growth_flagged():
+    base = dict(BASE, version=4, oracle=_oracle_section())
+    new = dict(BASE, version=4,
+               oracle=_oracle_section(gap_balanced=1.2))
+    result = diff_manifests(base, new)
+    assert not result.ok
+    assert any("gap_balanced" in r for r in result.oracle_regressions)
+    assert "!! oracle:" in result.format()
+
+
+def test_oracle_tiny_gap_wiggle_ignored():
+    from repro.obs.diff import MIN_GAP_DELTA
+
+    base = dict(BASE, version=4, oracle=_oracle_section())
+    new = dict(BASE, version=4, oracle=_oracle_section(
+        gap_balanced=1.05 + MIN_GAP_DELTA / 2))
+    assert diff_manifests(base, new).ok
+
+
+def test_oracle_certification_drop_flagged():
+    base = dict(BASE, version=4, oracle=_oracle_section())
+    new = dict(BASE, version=4,
+               oracle=_oracle_section(loops_beyond_heuristic=0))
+    result = diff_manifests(base, new)
+    assert any("loops_beyond_heuristic dropped 1 -> 0" in r
+               for r in result.oracle_regressions)
+
+
+def test_oracle_point_missing_from_new_flagged():
+    base = dict(BASE, version=4, oracle=_oracle_section())
+    new = dict(BASE, version=4, oracle={"schema": 1, "budget": "n1000",
+                                        "points": {}, "totals": {}})
+    result = diff_manifests(base, new)
+    assert any("missing" in r for r in result.oracle_regressions)
+
+
+def test_manifests_without_oracle_sections_skip_gating():
+    result = diff_manifests(BASE, BASE)
+    assert result.ok
+    assert result.oracle_points == 0
+    assert "oracle point" not in result.format()

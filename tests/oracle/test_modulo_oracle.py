@@ -1,0 +1,98 @@
+"""Modulo oracle: certified II optimality and lower bounds."""
+
+from repro.machine import DEFAULT_CONFIG
+from repro.oracle.modulo import (
+    STATUS_BAILED,
+    STATUS_OPTIMAL,
+    LoopOracleResult,
+    decide_ii,
+    heuristic_ii,
+    modulo_horizon,
+    oracle_loop,
+    validate_modulo_times,
+)
+from repro.oracle.solver import SAT, UNSAT, Budget
+from repro.sched.modulo.deps import DepEdge
+from repro.sched.modulo.mii import compute_mii
+from tests.sched.test_modulo import DAXPY, REDUCTION, _first_deps
+
+
+def test_daxpy_loop_is_certified():
+    deps = _first_deps(DAXPY)
+    result = oracle_loop(deps, DEFAULT_CONFIG)
+    assert result.certified
+    assert result.optimal_ii >= result.mii
+    assert result.certified_lb == result.optimal_ii
+    heur = heuristic_ii(deps, DEFAULT_CONFIG, result.mii)
+    assert result.heuristic_ii == heur
+    if heur:
+        assert result.optimal_ii <= heur
+
+
+def test_witness_validates_and_corruption_is_caught():
+    deps = _first_deps(DAXPY)
+    result = oracle_loop(deps, DEFAULT_CONFIG)
+    assert result.times is not None
+    assert validate_modulo_times(deps, DEFAULT_CONFIG,
+                                 result.optimal_ii, result.times) == []
+    broken = list(result.times)
+    broken[0] = broken[1]          # collide two ops on one row
+    assert validate_modulo_times(deps, DEFAULT_CONFIG,
+                                 result.optimal_ii, broken)
+
+
+def test_recurrence_makes_low_ii_certifiably_infeasible():
+    # Grafted 2-op cycle: latency 6 over distance 1 forces II >= 6.
+    deps = _first_deps(REDUCTION)
+    other = min(1, len(deps.ops) - 1)
+    deps.edges.append(DepEdge(0, other, "true", 5, 0))
+    deps.edges.append(DepEdge(other, 0, "true", 1, 1))
+    assert decide_ii(deps, DEFAULT_CONFIG, 5, Budget()).status == UNSAT
+    _res, _rec, mii = compute_mii(deps, DEFAULT_CONFIG)
+    assert decide_ii(deps, DEFAULT_CONFIG, max(mii, 6),
+                     Budget()).status == SAT
+
+
+def test_budget_exhaustion_reports_bailed():
+    deps = _first_deps(DAXPY)
+    result = oracle_loop(deps, DEFAULT_CONFIG, budget=Budget(max_nodes=1))
+    assert result.status == STATUS_BAILED
+    assert result.optimal_ii == 0
+    assert not result.certified
+    assert result.certified_lb == result.mii    # nothing extra proven
+
+
+def test_horizon_grows_with_every_parameter():
+    assert modulo_horizon(4, 3, 2) < modulo_horizon(8, 3, 2)
+    assert modulo_horizon(4, 3, 2) < modulo_horizon(4, 9, 2)
+    assert modulo_horizon(4, 3, 2) < modulo_horizon(4, 3, 5)
+
+
+def _result(**kw):
+    base = dict(label=".l", n_ops=4, res_mii=2, rec_mii=2, mii=2,
+                heuristic_ii=2, status=STATUS_OPTIMAL, optimal_ii=2,
+                certified_lb=2, nodes=10)
+    base.update(kw)
+    return LoopOracleResult(**base)
+
+
+def test_beyond_heuristic_semantics():
+    # Proving II = MII when the heuristic already achieved MII adds
+    # nothing (MII was already a lower bound).
+    assert not _result().beyond_heuristic
+    # A certified lower bound above MII is new knowledge.
+    assert _result(optimal_ii=3, certified_lb=3,
+                   heuristic_ii=3).beyond_heuristic
+    # Beating the heuristic's II is new knowledge.
+    assert _result(heuristic_ii=3).beyond_heuristic
+    # Settling a loop the heuristic could not schedule at all.
+    assert _result(heuristic_ii=0).beyond_heuristic
+    # A bare bail proves nothing.
+    assert not _result(status=STATUS_BAILED, optimal_ii=0).beyond_heuristic
+
+
+def test_to_json_carries_the_verdict():
+    data = _result(heuristic_ii=3).to_json()
+    assert data["beyond_heuristic"] is True
+    assert data["status"] == STATUS_OPTIMAL
+    assert "times" not in data      # witness stays out of payloads

@@ -261,3 +261,65 @@ def test_pipeline_loops_requires_scheduled_cfg():
     # Options.validate refuses swp without a scheduler.
     with pytest.raises(ValueError):
         Options(scheduler="none", swp=True).validate()
+
+
+# ------------------------------------------------------- RecMII witness
+def test_recurrence_witness_pins_grafted_cycle():
+    from repro.sched.modulo.mii import recurrence_witness
+
+    # Graft a 2-op recurrence: latency 6 over distance 1 => RecMII 6.
+    deps = _first_deps(REDUCTION)
+    other = min(1, len(deps.ops) - 1)
+    deps.edges.append(DepEdge(0, other, "true", 5, 0))
+    deps.edges.append(DepEdge(other, 0, "true", 1, 1))
+    rec = rec_mii(deps)
+    assert rec >= 6
+    witness = recurrence_witness(deps)
+    assert witness is not None
+    # The witness is exact: extracted at rec-1 where the cycle is
+    # still positive, so its bound equals RecMII, not just <= it.
+    assert witness.ii_bound == rec
+    # Every hop of the cycle is a real dependence edge.
+    k = len(witness.ops)
+    assert k == len(witness.kinds) >= 1
+    for i in range(k):
+        src, dst = witness.ops[i], witness.ops[(i + 1) % k]
+        assert any(e.src == src and e.dst == dst
+                   and e.kind == witness.kinds[i]
+                   for e in deps.edges), (src, dst)
+    assert witness.distance >= 1
+    data = witness.to_json()
+    assert data["ii_bound"] == rec
+    assert witness.describe(deps)
+
+
+def test_recurrence_witness_absent_without_recurrence():
+    from repro.sched.modulo.mii import recurrence_witness
+
+    deps = _first_deps(REDUCTION)
+    assert recurrence_witness(deps, rec=1) is None
+
+
+def test_compute_mii_detailed_matches_compute_mii():
+    from repro.sched.modulo.mii import compute_mii_detailed
+
+    deps = _first_deps(REDUCTION)
+    res, rec, mii = compute_mii(deps, DEFAULT_CONFIG)
+    d_res, d_rec, d_mii, witness = compute_mii_detailed(
+        deps, DEFAULT_CONFIG)
+    assert (d_res, d_rec, d_mii) == (res, rec, mii)
+    if rec > 1:
+        assert witness is not None and witness.ii_bound == rec
+    else:
+        assert witness is None
+
+
+def test_pipeline_stats_record_recurrence():
+    result = _compile(REDUCTION, swp=True)
+    stats = result.modulo_stats
+    bound_loops = [s for s in stats.loops if s.rec_mii > 1]
+    assert bound_loops, "reduction must have a recurrence-bound loop"
+    for stat in bound_loops:
+        assert stat.recurrence is not None
+        assert stat.recurrence["ii_bound"] == stat.rec_mii
+        assert stat.to_json()["recurrence"] == stat.recurrence

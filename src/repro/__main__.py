@@ -24,7 +24,13 @@ Commands:
 * ``serve``          — start the persistent compile/bench daemon on a
   UNIX socket (see docs/SERVING.md);
 * ``serve-load``     — replay concurrent requests against a running
-  daemon and verify dedup + bit-identical results.
+  daemon and verify dedup + bit-identical results (now with
+  p50/p95/p99 latencies checked against the daemon's own histogram);
+* ``serve-metrics``  — scrape a running daemon's metrics registry
+  (Prometheus text format, or ``--json``);
+* ``perf-history``   — render the ``BENCH_<n>.json`` perf trajectory
+  recorded by ``bench --record``; ``--check`` exits non-zero on a
+  regression beyond threshold.
 
 Common compiler flags: ``--scheduler {balanced,traditional,none}``,
 ``--unroll {0,4,8}``, ``--trace``, ``--locality``, ``--swp``,
@@ -56,6 +62,7 @@ from .harness import (
     compile_source,
     options_for,
 )
+from .harness.perf import CYCLE_THRESHOLD, IPS_THRESHOLD
 from .machine import DEFAULT_CONFIG, Simulator
 from .obs import NULL_OBSERVER, Observer, TracingObserver
 from .workloads import WORKLOAD_ORDER, WORKLOADS
@@ -281,6 +288,31 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_bench(args: argparse.Namespace, runner) -> None:
+    """``bench --record``: append a BENCH_<n>.json trajectory record
+    built from the manifest the sweep just wrote."""
+    from .harness import append_record, load_manifest, \
+        record_from_manifest
+
+    if not runner.use_cache:
+        raise SystemExit(
+            "repro bench: --record needs the run manifest, which is "
+            "disabled by REPRO_NO_CACHE=1")
+    if not runner.manifest_path.exists():
+        raise SystemExit(
+            f"repro bench: --record found no manifest at "
+            f"{runner.manifest_path}")
+    directory = Path(args.record)
+    if directory.exists() and not directory.is_dir():
+        raise SystemExit(
+            f"repro bench: --record target {directory} is not a "
+            f"directory")
+    record = record_from_manifest(
+        load_manifest(runner.manifest_path))
+    path = append_record(directory, record)
+    print(f"perf record written: {path}", file=sys.stderr)
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     _apply_validate_flag(args)
     _apply_sim_flag(args)
@@ -309,6 +341,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"run manifest: {runner.manifest_path}", file=sys.stderr)
     if args.oracle:
         _run_oracle(args, runner, benchmarks=names)
+    if args.record is not None:
+        _record_bench(args, runner)
     _finish_trace(observer, args)
     return 0
 
@@ -565,6 +599,13 @@ def cmd_serve_load(args: argparse.Namespace) -> int:
         print(f"served: {report.served}  computed(delta): "
               f"{report.computed_delta}  deduped: {report.deduped}  "
               f"cached: {report.cached}")
+        if report.latency_seconds.get("count"):
+            lat = report.latency_seconds
+            print(f"latency: p50 {1e3 * lat['p50']:.1f}ms  "
+                  f"p95 {1e3 * lat['p95']:.1f}ms  "
+                  f"p99 {1e3 * lat['p99']:.1f}ms"
+                  + (f"  daemon-agreement: {report.latency_agreement}"
+                     if report.latency_agreement is not None else ""))
         print(f"bit-identical: {report.identical}"
               + (f"  cold-verified: {report.cold_verified}"
                  if report.cold_verified is not None else ""))
@@ -573,6 +614,78 @@ def cmd_serve_load(args: argparse.Namespace) -> int:
         for line in report.errors[:10]:
             print(f"ERROR: {line}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def cmd_perf_history(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .harness import check_history, format_history, load_history
+
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        raise SystemExit(
+            f"repro perf-history: no such directory: {directory}")
+    if args.cycle_threshold < 0 or args.ips_threshold < 0:
+        raise SystemExit(
+            "repro perf-history: thresholds must be >= 0")
+    try:
+        records = load_history(directory)
+    except ValueError as exc:
+        raise SystemExit(f"repro perf-history: {exc}")
+    if not records:
+        raise SystemExit(
+            f"repro perf-history: no BENCH_*.json records in "
+            f"{directory}")
+    if args.json:
+        print(_json.dumps(records, indent=2, sort_keys=True))
+    else:
+        print(format_history(records))
+    if not args.check:
+        return 0
+    check = check_history(records,
+                          cycle_threshold=args.cycle_threshold,
+                          ips_threshold=args.ips_threshold)
+    if len(records) < 2:
+        print("perf-history check: single record, nothing to "
+              "compare (pass)", file=sys.stderr)
+        return 0
+    print(f"perf-history check: BENCH_{check.base_index} -> "
+          f"BENCH_{check.new_index}: {check.compared_cycles} grid "
+          f"points, {check.compared_engines} engines compared",
+          file=sys.stderr)
+    for line in check.regressions:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    return 0 if check.ok else 1
+
+
+def cmd_serve_metrics(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from .obs import render_prometheus_snapshot
+    from .serve.client import ServeClient
+
+    if args.timeout <= 0:
+        raise SystemExit(
+            f"repro serve-metrics: --timeout must be > 0, "
+            f"got {args.timeout}")
+    try:
+        with ServeClient(args.socket or _default_socket(),
+                         timeout=args.timeout) as client:
+            payload = client.metrics()
+    except (OSError, ConnectionError, asyncio.TimeoutError) as exc:
+        raise SystemExit(
+            f"repro serve-metrics: cannot reach daemon: {exc}")
+    if args.json:
+        print(_json.dumps(
+            {"recording": payload.get("recording"),
+             "summary": payload.get("summary"),
+             "snapshot": payload.get("snapshot")},
+            indent=2, sort_keys=True))
+    else:
+        print(render_prometheus_snapshot(payload.get("snapshot", {})),
+              end="")
+    return 0
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -614,6 +727,10 @@ def main(argv: list[str] | None = None) -> int:
     _add_validate_flag(p_bench)
     _add_sim_flag(p_bench)
     _add_oracle_flags(p_bench)
+    p_bench.add_argument(
+        "--record", nargs="?", const=".", default=None, metavar="DIR",
+        help="append a BENCH_<n>.json perf-trajectory record built "
+             "from the run manifest (default DIR: current directory)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -732,6 +849,45 @@ def main(argv: list[str] | None = None) -> int:
     p_load.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     p_load.set_defaults(fn=cmd_serve_load)
+
+    p_perf = sub.add_parser(
+        "perf-history",
+        help="render the BENCH_<n>.json perf trajectory; --check "
+             "gates the newest record against its predecessor")
+    p_perf.add_argument("dir", nargs="?", default=".",
+                        help="directory holding BENCH_<n>.json "
+                             "records (default: .)")
+    p_perf.add_argument("--check", action="store_true",
+                        help="exit non-zero if the newest record "
+                             "regressed beyond threshold")
+    p_perf.add_argument("--cycle-threshold", type=float,
+                        default=CYCLE_THRESHOLD, metavar="FRAC",
+                        help="relative cycle-increase threshold "
+                             f"(default: {CYCLE_THRESHOLD}; cycles "
+                             "are deterministic, keep this tight)")
+    p_perf.add_argument("--ips-threshold", type=float,
+                        default=IPS_THRESHOLD, metavar="FRAC",
+                        help="relative sim-IPS drop threshold "
+                             f"(default: {IPS_THRESHOLD}; throughput "
+                             "is machine-dependent, keep this "
+                             "lenient)")
+    p_perf.add_argument("--json", action="store_true",
+                        help="print the raw records as JSON")
+    p_perf.set_defaults(fn=cmd_perf_history)
+
+    p_metrics = sub.add_parser(
+        "serve-metrics",
+        help="scrape a running daemon's metrics registry")
+    p_metrics.add_argument("--socket", default=None, metavar="PATH",
+                           help="daemon socket (default: "
+                                "<cache-dir>/serve.sock)")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="JSON snapshot + summary instead of "
+                                "Prometheus text format")
+    p_metrics.add_argument("--timeout", type=float, default=30.0,
+                           help="connect timeout in seconds "
+                                "(default: 30)")
+    p_metrics.set_defaults(fn=cmd_serve_metrics)
 
     p_work = sub.add_parser("workloads", help="list the workload")
     p_work.set_defaults(fn=cmd_workloads)

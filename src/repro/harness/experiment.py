@@ -47,9 +47,19 @@ from ..machine import (
     config_to_json,
 )
 from ..obs import NULL_OBSERVER, Observer
+from ..obs.metrics import REGISTRY as _METRICS
 from ..workloads.programs import WORKLOADS, Workload
 from .compile import Options, compile_source
 from .store import ResultStore, StoreKey, atomic_write_json, source_hash
+
+#: Harness-level metrics (repro.obs.metrics).  Phase timings become
+#: *distributions* here (the manifest keeps per-run scalars); grid
+#: points are counted by how they were satisfied.
+_M_PHASE_SECONDS = _METRICS.histogram(
+    "repro_phase_seconds",
+    "wall time per compile/schedule/regalloc/simulate phase")
+_M_GRID_POINTS = _METRICS.counter(
+    "repro_grid_points_total", "grid points satisfied, by status")
 
 #: The paper's configuration axes, by short name.
 CONFIGS: dict[str, dict] = {
@@ -79,8 +89,11 @@ MANIFEST_NAME = "run-manifest.json"
 #: the grid) and machine-config-aware cache keys.  v4 added the
 #: optional ``oracle`` section (heuristic-gap summary from
 #: ``repro.oracle``, attached by the ``--oracle`` CLI flag and gated
-#: by ``repro obs-diff``).
-MANIFEST_VERSION = 4
+#: by ``repro obs-diff``).  v5 added the optional ``metrics`` section
+#: (the folded :mod:`repro.obs.metrics` registry of the sweep: a
+#: p50/p95/p99 summary plus the raw mergeable snapshot), omitted when
+#: recording is off (``REPRO_METRICS=0``).
+MANIFEST_VERSION = 5
 
 
 @dataclass
@@ -212,6 +225,9 @@ class Manifest:
     #: Heuristic-gap summary (:func:`repro.oracle.gap.oracle_summary`),
     #: attached after the sweep when ``--oracle`` is given (v4).
     oracle: Optional[dict] = None
+    #: Folded metrics registry of the sweep (v5): ``{"summary": ...,
+    #: "snapshot": ...}``; None when recording was off.
+    metrics: Optional[dict] = None
     #: True when the sweep was interrupted (SIGTERM/SIGINT, a worker
     #: death) and the manifest covers only the completed grid points.
     partial: bool = False
@@ -225,6 +241,8 @@ class Manifest:
             del data["trace"]
         if self.oracle is None:
             del data["oracle"]
+        if self.metrics is None:
+            del data["metrics"]
         return data
 
     def run_for(self, benchmark: str, scheduler: str,
@@ -252,6 +270,7 @@ def parse_manifest(data: dict) -> Manifest:
         modulo=data.get("modulo"),
         trace=data.get("trace"),
         oracle=data.get("oracle"),
+        metrics=data.get("metrics"),
         partial=data.get("partial", False))
 
 
@@ -324,6 +343,8 @@ def _execute_grid_point(workload: Workload, scheduler: str,
     phases["simulate"] = sim.run_seconds
     if sim.codegen_seconds:
         phases["sim_codegen"] = sim.codegen_seconds
+    for phase, seconds in phases.items():
+        _M_PHASE_SECONDS.labels(phase=phase).observe(seconds)
     result = RunResult(
         benchmark=workload.name, scheduler=scheduler, config=config,
         total_cycles=metrics.total_cycles,
@@ -370,6 +391,10 @@ def _pool_run(benchmark: str, scheduler: str, config: str,
     worker never re-hashes the package sources; a non-default machine
     description travels as plain JSON (picklable, version-stable).
     """
+    # A freshly forked worker inherits the parent's registry state;
+    # discard it so the first delta frame ships only this task's work
+    # (the parent already holds the inherited counts).
+    _METRICS.reset()
     machine = config_from_json(machine_json) if machine_json else None
     runner = ExperimentRunner(cache_dir=Path(cache_dir),
                               fingerprint=fingerprint,
@@ -377,7 +402,12 @@ def _pool_run(benchmark: str, scheduler: str, config: str,
     runner.use_cache = use_cache
     result = runner.run(benchmark, scheduler, config)
     timing = runner.timings.get((benchmark, scheduler, config))
-    return benchmark, scheduler, config, result, timing
+    # Ship this worker's metrics delta in the result frame; the parent
+    # folds it into its registry (snapshot_and_reset so a reused pool
+    # worker never double-counts across tasks).
+    metrics = _METRICS.snapshot_and_reset() if _METRICS.recording \
+        else None
+    return benchmark, scheduler, config, result, timing, metrics
 
 
 class ExperimentRunner:
@@ -476,6 +506,7 @@ class ExperimentRunner:
         result = None if self.observer.enabled else \
             self._load_cached(store_key)
         if result is not None:
+            _M_GRID_POINTS.labels(status="cached").inc()
             self.timings[key] = RunTiming(
                 benchmark=benchmark, scheduler=scheduler, config=config,
                 cached=True, total_seconds=time.perf_counter() - start,
@@ -486,6 +517,7 @@ class ExperimentRunner:
             result, timing = _execute_grid_point(
                 workload, scheduler, config, observer=self.observer,
                 machine=self.machine_config)
+            _M_GRID_POINTS.labels(status="executed").inc()
             self.timings[key] = timing
             self._store_cached(store_key, result)
         self._memory[key] = result
@@ -600,12 +632,14 @@ class ExperimentRunner:
                     (benchmark, scheduler, config)
                 for benchmark, scheduler, config in pending}
             for done, future in enumerate(as_completed(futures), start=1):
-                benchmark, scheduler, config, result, timing = (
-                    future.result())
+                (benchmark, scheduler, config, result, timing,
+                 metrics) = future.result()
                 key = (benchmark, scheduler, config)
                 self._memory[key] = result
                 if timing is not None:
                     self.timings[key] = timing
+                if metrics is not None:
+                    _METRICS.merge(metrics)
                 self._progress(done, len(pending), key)
         except BaseException:
             # Interrupted (signal) or a worker died: drop the queued
@@ -671,6 +705,11 @@ class ExperimentRunner:
             payload["modulo"] = modulo
         if self.observer.enabled:
             payload["trace"] = self.observer.summary()
+        if _METRICS.recording:
+            payload["metrics"] = {
+                "summary": _METRICS.summary(),
+                "snapshot": _METRICS.snapshot(),
+            }
         _atomic_write_json(self.manifest_path, payload)
 
     def _modulo_aggregates(self, grid: list[tuple[str, str, str]]) -> dict:

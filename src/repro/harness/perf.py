@@ -1,0 +1,242 @@
+"""Perf-trajectory recording: ``BENCH_<n>.json`` and the regression gate.
+
+PR 1 put simulated-instruction throughput into the run manifest
+because the simulator is the repo's wall-clock bottleneck — but each
+manifest is overwritten by the next sweep, so the repo had no recorded
+trajectory at all.  This module makes the trajectory durable and
+checkable:
+
+* ``repro bench --record`` appends one schema-versioned
+  ``BENCH_<n>.json`` snapshot of the sweep that just ran: git sha,
+  sim-IPS per engine, wall time per phase, and total cycles per grid
+  point (deterministic, so cycle drift is a *correctness* signal,
+  not noise);
+* ``repro perf-history`` renders the trajectory; ``--check`` compares
+  the newest record against its predecessor and exits non-zero on a
+  regression beyond threshold — tight for cycles (deterministic),
+  lenient for IPS (machine-dependent) — the same gating pattern as
+  ``repro obs-diff``.
+
+Records are append-only and compared pairwise over their *shared*
+keys, so growing the benchmark set or the config grid never
+manufactures a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from .experiment import Manifest
+
+#: Record schema version (bumped on incompatible layout changes).
+BENCH_SCHEMA = 1
+
+#: Record filename pattern: BENCH_0.json, BENCH_1.json, ...
+BENCH_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Default relative-increase threshold for total cycles.  Cycle counts
+#: are deterministic for a fixed fingerprint, so any drift is real.
+CYCLE_THRESHOLD = 0.02
+
+#: Default relative-drop threshold for sim-IPS.  Throughput depends on
+#: the machine running the suite (CI vs laptop), so the gate only
+#: catches collapses, not noise.
+IPS_THRESHOLD = 0.60
+
+
+def git_sha(cwd: Optional[Path] = None) -> str:
+    """Current git commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def record_from_manifest(manifest: Manifest,
+                         sha: Optional[str] = None) -> dict:
+    """One trajectory record from a just-written run manifest.
+
+    * ``cycles`` keeps every grid point individually
+      (``benchmark/scheduler/config`` -> total cycles) so later checks
+      compare only the points both records actually ran;
+    * ``phase_seconds`` and ``sim_ips`` aggregate over *executed*
+      points only — cached points carry no wall-clock signal.
+    """
+    cycles: dict[str, int] = {}
+    phase_seconds: dict[str, float] = {}
+    engine_instructions: dict[str, int] = {}
+    engine_seconds: dict[str, float] = {}
+    for run in manifest.runs:
+        point = f"{run.benchmark}/{run.scheduler}/{run.config}"
+        cycles[point] = run.total_cycles
+        if run.cached:
+            continue
+        for phase, seconds in run.phase_seconds.items():
+            phase_seconds[phase] = phase_seconds.get(phase, 0.0) \
+                + seconds
+        engine = run.sim_mode or "unknown"
+        engine_instructions[engine] = \
+            engine_instructions.get(engine, 0) \
+            + run.simulated_instructions
+        engine_seconds[engine] = engine_seconds.get(engine, 0.0) \
+            + run.phase_seconds.get("simulate", 0.0)
+    sim_ips = {engine: round(engine_instructions[engine] / seconds, 1)
+               for engine, seconds in engine_seconds.items()
+               if seconds > 0}
+    return {
+        "schema": BENCH_SCHEMA,
+        "git_sha": sha if sha is not None else git_sha(),
+        "recorded_at": round(time.time(), 3),
+        "fingerprint": manifest.fingerprint,
+        "grid_points": manifest.grid_points,
+        "executed": manifest.executed,
+        "cached": manifest.cached,
+        "wall_seconds": manifest.wall_seconds,
+        "phase_seconds": {phase: round(seconds, 6)
+                          for phase, seconds
+                          in sorted(phase_seconds.items())},
+        "sim_ips": dict(sorted(sim_ips.items())),
+        "cycles": dict(sorted(cycles.items())),
+    }
+
+
+# ------------------------------------------------------------- history
+def history_paths(directory: Path | str) -> list[tuple[int, Path]]:
+    """``(index, path)`` for every BENCH_<n>.json, sorted by index."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    out = []
+    for path in directory.iterdir():
+        match = BENCH_PATTERN.match(path.name)
+        if match:
+            out.append((int(match.group(1)), path))
+    return sorted(out)
+
+
+def load_history(directory: Path | str) -> list[dict]:
+    """Every record in index order.  A torn or non-object record is a
+    hard error — history is committed, so corruption means a bad
+    commit, not a transient race."""
+    records = []
+    for index, path in history_paths(directory):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"{path.name}: unreadable record "
+                             f"({exc})") from exc
+        if not isinstance(record, dict):
+            raise ValueError(f"{path.name}: record must be a JSON "
+                             f"object")
+        if record.get("schema", 0) > BENCH_SCHEMA:
+            raise ValueError(
+                f"{path.name}: schema {record.get('schema')} is newer "
+                f"than this tool ({BENCH_SCHEMA})")
+        record["_index"] = index
+        records.append(record)
+    return records
+
+
+def append_record(directory: Path | str, record: dict) -> Path:
+    """Write the record as the next ``BENCH_<n>.json`` in *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    existing = history_paths(directory)
+    index = existing[-1][0] + 1 if existing else 0
+    path = directory / f"BENCH_{index}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True)
+                    + "\n")
+    return path
+
+
+# --------------------------------------------------------------- check
+@dataclass
+class PerfCheck:
+    """Outcome of comparing the newest record to its predecessor."""
+
+    base_index: int
+    new_index: int
+    regressions: list = field(default_factory=list)
+    compared_cycles: int = 0
+    compared_engines: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def check_history(records: list[dict],
+                  cycle_threshold: float = CYCLE_THRESHOLD,
+                  ips_threshold: float = IPS_THRESHOLD) -> PerfCheck:
+    """Gate the newest record against the one before it.
+
+    Only keys present in *both* records are compared, so a changed
+    benchmark selection can never fabricate a regression.  With fewer
+    than two records there is nothing to compare and the check
+    passes vacuously.
+    """
+    if len(records) < 2:
+        index = records[-1]["_index"] if records else -1
+        return PerfCheck(base_index=index, new_index=index)
+    base, new = records[-2], records[-1]
+    check = PerfCheck(base_index=base["_index"],
+                      new_index=new["_index"])
+    base_cycles = base.get("cycles", {})
+    for point, cycles in sorted(new.get("cycles", {}).items()):
+        old = base_cycles.get(point)
+        if not old:
+            continue
+        check.compared_cycles += 1
+        ratio = cycles / old
+        if ratio > 1.0 + cycle_threshold:
+            check.regressions.append(
+                f"cycles {point}: {old} -> {cycles} "
+                f"(+{100 * (ratio - 1):.2f}% > "
+                f"{100 * cycle_threshold:.0f}%)")
+    base_ips = base.get("sim_ips", {})
+    for engine, ips in sorted(new.get("sim_ips", {}).items()):
+        old = base_ips.get(engine)
+        if not old:
+            continue
+        check.compared_engines += 1
+        if ips < old * (1.0 - ips_threshold):
+            check.regressions.append(
+                f"sim-IPS [{engine}]: {old:.0f} -> {ips:.0f} "
+                f"(-{100 * (1 - ips / old):.1f}% > "
+                f"{100 * ips_threshold:.0f}%)")
+    return check
+
+
+# -------------------------------------------------------------- render
+def format_history(records: list[dict]) -> str:
+    """The trajectory as a fixed-width table, one row per record."""
+    if not records:
+        return "(no BENCH_*.json records)"
+    header = (f"{'rec':>4} {'git sha':<12} {'points':>7} {'exec':>5} "
+              f"{'wall s':>8} {'sim-IPS (by engine)':<28} "
+              f"{'cycles (sum)':>14}")
+    lines = [header, "-" * len(header)]
+    for record in records:
+        ips = ", ".join(
+            f"{engine}:{value:.0f}"
+            for engine, value in sorted(
+                record.get("sim_ips", {}).items())) or "-"
+        total = sum(record.get("cycles", {}).values())
+        lines.append(
+            f"{record['_index']:>4} "
+            f"{record.get('git_sha', 'unknown')[:12]:<12} "
+            f"{record.get('grid_points', 0):>7} "
+            f"{record.get('executed', 0):>5} "
+            f"{record.get('wall_seconds', 0.0):>8.2f} "
+            f"{ips:<28} {total:>14}")
+    return "\n".join(lines)

@@ -37,7 +37,25 @@ attribution, profiling), keeping the fallback decision in one place.
 
 from __future__ import annotations
 
+from ..obs.metrics import REGISTRY as _METRICS
 from .simulator import SimulationError
+
+#: Engine counters (repro.obs.metrics).  Replay dispatch outcomes are
+#: tallied in plain local ints inside the hot driver loop and folded
+#: into the registry once at finalize; the code-object cache counters
+#: bump once per engine build.  Neither touches timing state.
+_M_REPLAY_HITS = _METRICS.counter(
+    "repro_fastsim_replay_hits_total",
+    "block executions served by a memoized replay variant")
+_M_REPLAY_MISSES = _METRICS.counter(
+    "repro_fastsim_replay_misses_total",
+    "replay guard failures that fell back to the full variant")
+_M_CODE_HITS = _METRICS.counter(
+    "repro_fastsim_code_cache_hits_total",
+    "engine builds that reused a cached compiled code object")
+_M_CODE_MISSES = _METRICS.counter(
+    "repro_fastsim_code_cache_misses_total",
+    "engine builds that compiled fresh bytecode")
 
 # Shared counter-vector indices: one flat list instead of per-event
 # attribute updates; flushed into Metrics once at the end of a run.
@@ -885,10 +903,13 @@ _CODE_CACHE_MAX = 64
 def _compile_cached(src, filename):
     code = _CODE_CACHE.get(src)
     if code is None:
+        _M_CODE_MISSES.inc()
         code = compile(src, filename, "exec")
         if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
             _CODE_CACHE.clear()
         _CODE_CACHE[src] = code
+    else:
+        _M_CODE_HITS.inc()
     return code
 
 
@@ -935,6 +956,10 @@ class _FastEngine:
         self.table = table
         self.ctr = ctr
         self.blocks = blocks
+        #: Replay dispatch outcomes of the last :meth:`run` (also
+        #: folded into the global metrics registry at finalize).
+        self.replay_hits = 0
+        self.replay_misses = 0
 
     def run(self, max_instructions):
         sim = self.sim
@@ -945,6 +970,8 @@ class _FastEngine:
         lastL = -1
         lastP = -1
         executed = 0
+        replay_hits = 0
+        replay_misses = 0
         while True:
             ent = get(pc)
             if ent is None:
@@ -960,16 +987,20 @@ class _FastEngine:
             if rep is not None:
                 res = rep(t, lastL, lastP)
                 if res is not None:
+                    replay_hits += 1
                     if ent[3]:
                         ent[3] = 0
                     pc, t, lastL, lastP = res
                     continue
+                replay_misses += 1
                 fails = ent[3] + 1
                 if fails >= REPLAY_DISABLE_AFTER:
                     ent[2] = None
                     fails = 0
                 ent[3] = fails
             pc, t, lastL, lastP = ent[0](t, lastL, lastP)
+        self.replay_hits = replay_hits
+        self.replay_misses = replay_misses
         self._finalize(t, executed)
 
     def _finalize(self, t, executed):
@@ -993,6 +1024,10 @@ class _FastEngine:
                 if ni:
                     sim.l1i.stats.accesses += c * ni
         sim._flush_machine_stats()
+        if self.replay_hits:
+            _M_REPLAY_HITS.inc(self.replay_hits)
+        if self.replay_misses:
+            _M_REPLAY_MISSES.inc(self.replay_misses)
 
 
 def _apply_block_counts(m, ctr, blocks):

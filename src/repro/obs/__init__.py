@@ -16,6 +16,13 @@ from .diff import (
     diff_manifest_files,
     diff_manifests,
 )
+from .metrics import (
+    LATENCY_BUCKETS,
+    REGISTRY,
+    MetricsRegistry,
+    render_prometheus_snapshot,
+    snapshot_summary,
+)
 from .observer import NULL_OBSERVER, Observer, TracingObserver
 from .provenance import LoadScheduleRecord, ScheduleProvenance
 from .stall import StallProfile
@@ -27,4 +34,6 @@ __all__ = [
     "StallProfile",
     "LoadScheduleRecord", "ScheduleProvenance",
     "DiffResult", "PointDelta", "diff_manifests", "diff_manifest_files",
+    "MetricsRegistry", "REGISTRY", "LATENCY_BUCKETS",
+    "render_prometheus_snapshot", "snapshot_summary",
 ]

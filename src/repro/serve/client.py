@@ -198,6 +198,11 @@ class AsyncServeClient:
             params["events"] = True
         return await self.request("sweep", on_event=on_event, **params)
 
+    async def metrics(self) -> dict:
+        """The daemon's folded metrics registry (``metrics`` op):
+        ``{"recording", "snapshot", "summary"}``."""
+        return await self.request("metrics")
+
     async def shutdown(self) -> dict:
         return await self.request("shutdown")
 
@@ -238,6 +243,9 @@ class ServeClient:
 
     def sweep(self, **kwargs) -> dict:
         return self._run(self._client.sweep(**kwargs))
+
+    def metrics(self) -> dict:
+        return self._run(self._client.metrics())
 
     def shutdown(self) -> dict:
         return self._run(self._client.shutdown())

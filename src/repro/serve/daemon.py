@@ -55,6 +55,7 @@ from ..machine import (
     config_hash,
 )
 from ..obs import NULL_OBSERVER
+from ..obs.metrics import REGISTRY as _METRICS
 from ..workloads.programs import WORKLOAD_ORDER, WORKLOADS
 from .events import StreamingObserver
 from .fingerprint import FingerprintTracker
@@ -70,6 +71,21 @@ from .protocol import (
 )
 
 SERVE_MANIFEST_NAME = "serve-manifest.json"
+
+#: Daemon request-lifecycle metrics (repro.obs.metrics).  The daemon
+#: process folds each pool worker's snapshot on top of these, so the
+#: ``metrics`` op exposes one coherent registry for the whole service.
+_M_REQUESTS = _METRICS.counter(
+    "repro_serve_requests_total", "daemon requests handled, by op")
+_M_REQUEST_SECONDS = _METRICS.histogram(
+    "repro_serve_request_seconds", "daemon request latency, by op")
+_M_DEDUP_HITS = _METRICS.counter(
+    "repro_serve_dedup_hits_total",
+    "requests that piggybacked on an identical in-flight computation")
+_M_INFLIGHT = _METRICS.gauge(
+    "repro_serve_inflight", "grid-point computations currently running")
+_M_QUEUE_DEPTH = _METRICS.gauge(
+    "repro_serve_queue_depth", "request handlers currently active")
 
 
 # ------------------------------------------------------------ pool side
@@ -88,9 +104,17 @@ def _serve_compute(benchmark: str, scheduler: str, config: str,
                    compute_log: Optional[str] = None):
     """One grid point, in a resident pool worker.
 
-    Returns ``(result_payload, timing_json)`` and publishes the result
-    to the sharded store so restarts and the cold CLI path reuse it.
+    Returns ``(result_payload, timing_json, metrics_snapshot)`` and
+    publishes the result to the sharded store so restarts and the cold
+    CLI path reuse it.  The metrics snapshot is this worker's registry
+    *delta* (snapshot-and-reset, so a resident worker reused across
+    tasks never double-counts); the daemon folds it into its own
+    registry.
     """
+    # A freshly forked worker inherits the daemon's registry state;
+    # discard it so the first delta frame ships only this task's work
+    # (the daemon already holds the inherited counts).
+    _METRICS.reset()
     workload = WORKLOADS[benchmark]
     machine = config_from_json(machine_json) if machine_json else None
     result, timing = _execute_grid_point(workload, scheduler, config,
@@ -109,7 +133,9 @@ def _serve_compute(benchmark: str, scheduler: str, config: str,
         with open(compute_log, "a") as handle:
             handle.write(f"{benchmark}/{scheduler}/{config}/"
                          f"{fingerprint}\n")
-    return payload, timing.to_json()
+    metrics = _METRICS.snapshot_and_reset() if _METRICS.recording \
+        else None
+    return payload, timing.to_json(), metrics
 
 
 def _serve_sleep(seconds: float) -> float:
@@ -278,6 +304,14 @@ class ReproDaemon:
             "stats": asdict(self.stats),
             "runs": runs,
         }
+        if _METRICS.recording:
+            # Flush the folded registry (daemon + every worker delta
+            # received so far) even on a partial shutdown: metrics for
+            # completed work survive worker death and SIGTERM.
+            payload["metrics"] = {
+                "summary": _METRICS.summary(),
+                "snapshot": _METRICS.snapshot(),
+            }
         atomic_write_json(self.manifest_path, payload)
 
     def _record_served(self, key: StoreKey, payload: dict,
@@ -361,6 +395,9 @@ class ReproDaemon:
         rid = frame.get("id")
         op = frame.get("op")
         self.stats.count(str(op))
+        _M_REQUESTS.labels(op=str(op)).inc()
+        _M_QUEUE_DEPTH.set(len(self._handlers))
+        start = time.perf_counter()
         try:
             if op == "ping":
                 await send(result_frame(
@@ -382,6 +419,8 @@ class ReproDaemon:
                 await self._bench(rid, frame, send, push)
             elif op == "sweep":
                 await self._sweep(rid, frame, send, push)
+            elif op == "metrics":
+                await send(result_frame(rid, op, **self._metrics()))
             elif op == "shutdown":
                 await send(result_frame(rid, op, ok=True))
                 self.request_shutdown()
@@ -401,6 +440,10 @@ class ReproDaemon:
             self.stats.errors += 1
             with contextlib.suppress(Exception):
                 await send(error_frame(rid, str(exc)))
+        finally:
+            _M_REQUEST_SECONDS.labels(op=str(op)).observe(
+                time.perf_counter() - start)
+            _M_QUEUE_DEPTH.set(max(0, len(self._handlers) - 1))
 
     def _status(self) -> dict:
         return {
@@ -409,12 +452,27 @@ class ReproDaemon:
             "cache_dir": str(self.cache_dir),
             "use_cache": self.use_cache,
             "jobs": self.jobs,
+            "pool_workers": self.jobs,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "fingerprint": self.tracker.current(),
             "fingerprint_rehashes": self.tracker.rehashes,
             "inflight": len(self._inflight),
             "served_points": len(self._served),
+            "requests_total": self.stats.requests,
+            "requests_by_op": dict(self.stats.by_op),
+            "dedup_hits": self.stats.deduped,
             "stats": asdict(self.stats),
+        }
+
+    def _metrics(self) -> dict:
+        """The ``metrics`` op payload: the daemon's folded registry
+        (its own request-lifecycle instruments plus every pool
+        worker's shipped delta) as a mergeable snapshot and a compact
+        p50/p95/p99 summary."""
+        return {
+            "recording": _METRICS.recording,
+            "snapshot": _METRICS.snapshot(),
+            "summary": _METRICS.summary(),
         }
 
     # ------------------------------------------------------- grid points
@@ -528,6 +586,7 @@ class ReproDaemon:
         inflight = self._inflight.get(key)
         if inflight is not None:
             self.stats.deduped += 1
+            _M_DEDUP_HITS.inc()
             observer.event("point.dedup", benchmark=benchmark,
                            scheduler=scheduler, config=config)
             # shield(): this client cancelling (or being dropped at
@@ -543,14 +602,19 @@ class ReproDaemon:
             lambda f: f.cancelled() or f.exception())
         self._inflight[key] = future
         try:
+            _M_INFLIGHT.set(len(self._inflight))
             with observer.span("point.compute", benchmark=benchmark,
                                scheduler=scheduler, config=config):
-                payload, timing = await loop.run_in_executor(
-                    self._pool, _serve_compute, benchmark, scheduler,
-                    config, machine_json, str(self.cache_dir),
-                    self.use_cache, fingerprint,
-                    str(self.compute_log) if self.compute_log
-                    else None)
+                payload, timing, worker_metrics = (
+                    await loop.run_in_executor(
+                        self._pool, _serve_compute, benchmark,
+                        scheduler, config, machine_json,
+                        str(self.cache_dir), self.use_cache,
+                        fingerprint,
+                        str(self.compute_log) if self.compute_log
+                        else None))
+            if worker_metrics is not None:
+                _METRICS.merge(worker_metrics)
             self.stats.computed += 1
             observer.event("point.phases", benchmark=benchmark,
                            scheduler=scheduler, config=config,
@@ -565,6 +629,7 @@ class ReproDaemon:
             raise
         finally:
             self._inflight.pop(key, None)
+            _M_INFLIGHT.set(len(self._inflight))
         self._record_served(key, payload, SERVED_COMPUTED, timing)
         return payload, SERVED_COMPUTED, meta
 

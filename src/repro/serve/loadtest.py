@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from ..harness.experiment import _execute_grid_point
+from ..obs.metrics import MetricsRegistry, _label_key
 from ..workloads.programs import WORKLOADS
 from .client import AsyncServeClient
 
@@ -61,11 +62,24 @@ class LoadTestReport:
     identical: bool = True
     cold_verified: Optional[bool] = None
     mismatches: list = field(default_factory=list)
+    #: Client-side request-latency distribution (seconds):
+    #: ``{count, mean, p50, p95, p99}`` over successful requests.
+    latency_seconds: dict = field(default_factory=dict)
+    #: The daemon's own ``repro_serve_request_seconds{op="bench"}``
+    #: histogram over exactly this run (before/after snapshot delta);
+    #: None when the daemon records no metrics.
+    daemon_latency_seconds: Optional[dict] = None
+    #: True iff the daemon's histogram agrees with the client-side
+    #: measurement: the count matches the successful requests exactly
+    #: and the daemon-side mean does not exceed the client-side mean
+    #: beyond tolerance (client windows enclose daemon windows).
+    latency_agreement: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
         return (not self.errors and self.identical
-                and self.cold_verified is not False)
+                and self.cold_verified is not False
+                and self.latency_agreement is not False)
 
     def to_json(self) -> dict:
         data = asdict(self)
@@ -88,16 +102,21 @@ async def run_load_test(
                for _ in range(connections)]
     errors: list[str] = []
     replies: list[Optional[dict]] = [None] * requests
+    latencies: list[float] = []
+    before_metrics = after_metrics = None
     try:
         before_stats = (await clients[0].status())["stats"]
+        before_metrics = await clients[0].metrics()
         start = time.perf_counter()
 
         async def one(index: int) -> None:
             benchmark, scheduler, config = points[index % len(points)]
             client = clients[index % connections]
+            begin = time.perf_counter()
             try:
                 replies[index] = await client.bench(
                     benchmark, scheduler, config, machine=machine)
+                latencies.append(time.perf_counter() - begin)
             except Exception as exc:    # noqa: BLE001 — audit later
                 errors.append(f"request {index} "
                               f"({benchmark}/{scheduler}/{config}): "
@@ -106,6 +125,7 @@ async def run_load_test(
         await asyncio.gather(*[one(i) for i in range(requests)])
         wall = time.perf_counter() - start
         after_stats = (await clients[0].status())["stats"]
+        after_metrics = await clients[0].metrics()
     finally:
         for client in clients:
             await client.close()
@@ -145,6 +165,18 @@ async def run_load_test(
                     f"{'/'.join(point)}: served payload differs from "
                     f"cold CLI path")
 
+    latency = _client_percentiles(latencies)
+    daemon_latency = _bench_latency_delta(before_metrics, after_metrics)
+    agreement: Optional[bool] = None
+    if daemon_latency is not None and latency["count"]:
+        # The client window (write -> terminal frame) encloses the
+        # daemon window (frame decode -> reply sent), so the daemon
+        # count must match the successful requests exactly and its
+        # mean must not exceed the client mean beyond bucket slack.
+        agreement = (daemon_latency["count"] == latency["count"]
+                     and daemon_latency["mean"]
+                     <= latency["mean"] * 1.5 + 0.05)
+
     return LoadTestReport(
         requests=requests,
         connections=connections,
@@ -160,7 +192,66 @@ async def run_load_test(
         identical=identical,
         cold_verified=cold_verified,
         mismatches=mismatches,
+        latency_seconds=latency,
+        daemon_latency_seconds=daemon_latency,
+        latency_agreement=agreement,
     )
+
+
+def _client_percentiles(latencies: list[float]) -> dict:
+    """Exact (nearest-rank) percentiles of the client-side latencies."""
+    if not latencies:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0}
+    ordered = sorted(latencies)
+
+    def rank(q: float) -> float:
+        index = min(len(ordered) - 1,
+                    max(0, int(round(q * len(ordered))) - 1))
+        return round(ordered[index], 6)
+
+    return {
+        "count": len(ordered),
+        "mean": round(sum(ordered) / len(ordered), 6),
+        "p50": rank(0.50), "p95": rank(0.95), "p99": rank(0.99),
+    }
+
+
+def _bench_latency_delta(before: Optional[dict],
+                         after: Optional[dict]) -> Optional[dict]:
+    """p50/p95/p99 of the daemon's own bench-latency histogram over
+    exactly this run: the before/after snapshot delta (bucket counts
+    are exact ints, so the subtraction is too)."""
+    if not after or not after.get("recording"):
+        return None
+    name = "repro_serve_request_seconds"
+    key = _label_key({"op": "bench"})
+
+    def child_of(reply: Optional[dict]) -> Optional[dict]:
+        if not reply:
+            return None
+        family = reply.get("snapshot", {}).get("families", {}).get(name)
+        return (family or {}).get("children", {}).get(key)
+
+    now = child_of(after)
+    if now is None:
+        return None
+    base = child_of(before)
+    counts = list(now["bucket_counts"])
+    total_sum, count = now["sum"], now["count"]
+    if base is not None:
+        counts = [a - b for a, b in zip(counts, base["bucket_counts"])]
+        total_sum -= base["sum"]
+        count -= base["count"]
+    if count <= 0 or any(n < 0 for n in counts):
+        return None
+    registry = MetricsRegistry(recording=True)
+    registry.merge({"families": {name: {
+        "kind": "histogram", "bounds": now["bounds"],
+        "children": {key: {"bounds": now["bounds"],
+                           "bucket_counts": counts,
+                           "sum": total_sum, "count": count}}}}})
+    return registry.families()[name].labels(op="bench").percentiles()
 
 
 def run_load_test_sync(socket_path: Path | str,

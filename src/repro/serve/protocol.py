@@ -21,7 +21,8 @@ multiplexed over one connection) and an ``op``::
      "schedulers": ["balanced"], "configs": ["base", "lu4"],
      "events": true}
     {"id": 6, "op": "sleep", "seconds": 0.5}   # load-testing aid
-    {"id": 7, "op": "shutdown"}
+    {"id": 7, "op": "metrics"}                 # registry snapshot
+    {"id": 8, "op": "shutdown"}
 
 Responses
 ---------
@@ -58,7 +59,7 @@ SERVED_CACHED = "cached"
 
 #: Known request operations.
 OPS = ("ping", "status", "workloads", "bench", "sweep", "sleep",
-       "shutdown")
+       "metrics", "shutdown")
 
 #: Hard cap on one frame line (a full RunResult with swp loop stats is
 #: a few tens of KB; 32 MB leaves room without letting a hostile peer

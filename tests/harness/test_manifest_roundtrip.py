@@ -19,7 +19,7 @@ def _sweep(tmp_path, **kwargs):
 def test_manifest_loads_into_equal_dataclasses(tmp_path):
     runner = _sweep(tmp_path)
     manifest = load_manifest(runner.manifest_path)
-    assert manifest.version == 4
+    assert manifest.version == 5
     assert manifest.partial is False
     assert manifest.grid_points == 2
     assert manifest.executed == 2 and manifest.cached == 0
@@ -40,6 +40,12 @@ def test_manifest_loads_into_equal_dataclasses(tmp_path):
     assert swp is not None and swp.modulo is not None
     assert swp.modulo["attempted"] >= swp.modulo["pipelined"]
     assert manifest.modulo, "sweep-level modulo aggregates present"
+
+    # v5: the folded metrics registry rides along (summary + snapshot).
+    assert manifest.metrics is not None
+    assert "repro_phase_seconds" in manifest.metrics["summary"]
+    snapshot = manifest.metrics["snapshot"]
+    assert "repro_sim_runs_total" in snapshot["families"]
 
 
 def test_manifest_json_roundtrip_is_lossless(tmp_path):

@@ -1,0 +1,157 @@
+"""Perf-trajectory records (BENCH_<n>.json) and the regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import (ExperimentRunner, append_record,
+                           check_history, format_history, load_history,
+                           load_manifest, record_from_manifest)
+from repro.harness.perf import BENCH_SCHEMA, git_sha
+
+
+@pytest.fixture(scope="module")
+def manifest(tmp_path_factory):
+    runner = ExperimentRunner(
+        cache_dir=tmp_path_factory.mktemp("cache"))
+    runner.sweep(benchmarks=["ora"], schedulers=("balanced",),
+                 configs=["base"])
+    return load_manifest(runner.manifest_path)
+
+
+# ------------------------------------------------------------- records
+def test_record_from_manifest_shape(manifest):
+    record = record_from_manifest(manifest, sha="cafebabe")
+    assert record["schema"] == BENCH_SCHEMA
+    assert record["git_sha"] == "cafebabe"
+    assert record["grid_points"] == 1 and record["executed"] == 1
+    assert record["cycles"]["ora/balanced/base"] > 0
+    assert record["phase_seconds"]["simulate"] > 0
+    # One engine ran; its IPS is the aggregate ratio.
+    assert record["sim_ips"]
+    for ips in record["sim_ips"].values():
+        assert ips > 0
+    json.dumps(record)      # must be plain JSON
+
+
+def test_cached_points_carry_no_wall_signal(manifest):
+    cached = json.loads(json.dumps(manifest.to_json()))
+    for run in cached["runs"]:
+        run["cached"] = True
+    from repro.harness import parse_manifest
+    record = record_from_manifest(parse_manifest(cached), sha="x")
+    # Cycles persist (deterministic) but timings drop out.
+    assert record["cycles"]
+    assert record["phase_seconds"] == {}
+    assert record["sim_ips"] == {}
+
+
+def test_git_sha_resolves_in_repo_and_degrades(tmp_path):
+    assert len(git_sha()) == 40
+    assert git_sha(cwd=tmp_path) == "unknown"
+
+
+# ------------------------------------------------------ append / load
+def _record(cycles, ips=1e6, sha="aa"):
+    return {"schema": BENCH_SCHEMA, "git_sha": sha,
+            "grid_points": len(cycles), "executed": len(cycles),
+            "cached": 0, "wall_seconds": 1.0, "phase_seconds": {},
+            "sim_ips": {"fast": ips}, "cycles": dict(cycles)}
+
+
+def test_append_assigns_consecutive_indices(tmp_path):
+    assert append_record(tmp_path, _record({"a": 1})).name \
+        == "BENCH_0.json"
+    assert append_record(tmp_path, _record({"a": 1})).name \
+        == "BENCH_1.json"
+    records = load_history(tmp_path)
+    assert [r["_index"] for r in records] == [0, 1]
+
+
+def test_load_rejects_torn_and_future_records(tmp_path):
+    (tmp_path / "BENCH_0.json").write_text("{not json")
+    with pytest.raises(ValueError, match="unreadable"):
+        load_history(tmp_path)
+    (tmp_path / "BENCH_0.json").write_text(
+        json.dumps({"schema": BENCH_SCHEMA + 1}))
+    with pytest.raises(ValueError, match="newer"):
+        load_history(tmp_path)
+    (tmp_path / "BENCH_0.json").write_text("[]")
+    with pytest.raises(ValueError, match="JSON object"):
+        load_history(tmp_path)
+
+
+# ---------------------------------------------------------------- gate
+def _indexed(*records):
+    return [dict(r, _index=i) for i, r in enumerate(records)]
+
+
+def test_check_passes_vacuously_below_two_records():
+    assert check_history([]).ok
+    assert check_history(_indexed(_record({"a": 100}))).ok
+
+
+def test_check_passes_on_identical_records():
+    records = _indexed(_record({"a": 100, "b": 200}),
+                       _record({"a": 100, "b": 200}))
+    check = check_history(records)
+    assert check.ok
+    assert check.compared_cycles == 2
+    assert check.compared_engines == 1
+
+
+def test_check_flags_cycle_regression():
+    records = _indexed(_record({"a": 100}), _record({"a": 200}))
+    check = check_history(records)
+    assert not check.ok
+    assert "cycles a: 100 -> 200" in check.regressions[0]
+
+
+def test_check_flags_ips_collapse_but_tolerates_noise():
+    slow = check_history(_indexed(_record({"a": 1}, ips=1e6),
+                                  _record({"a": 1}, ips=3e5)))
+    assert not slow.ok and "sim-IPS" in slow.regressions[0]
+    noisy = check_history(_indexed(_record({"a": 1}, ips=1e6),
+                                   _record({"a": 1}, ips=5e5)))
+    assert noisy.ok      # -50% is inside the lenient 60% gate
+
+
+def test_check_compares_only_shared_keys():
+    """Growing or shrinking the benchmark set never fabricates a
+    regression: unshared cycle keys and engines are skipped."""
+    records = _indexed(
+        _record({"a": 100}),
+        {**_record({"b": 999_999}), "sim_ips": {"compiled": 1.0}})
+    check = check_history(records)
+    assert check.ok
+    assert check.compared_cycles == 0
+    assert check.compared_engines == 0
+
+
+def test_check_uses_newest_pair_only():
+    records = _indexed(_record({"a": 400}), _record({"a": 100}),
+                       _record({"a": 101}))
+    check = check_history(records)
+    assert check.ok and check.base_index == 1 and check.new_index == 2
+
+
+def test_format_history_renders_rows():
+    text = format_history(_indexed(_record({"a": 100}, sha="deadbeef")))
+    assert "deadbeef" in text and "100" in text
+    assert format_history([]) == "(no BENCH_*.json records)"
+
+
+# ---------------------------------------------- committed seed record
+def test_committed_seed_record_is_valid():
+    """BENCH_0.json at the repo root must load and pass the gate —
+    it is the baseline CI compares against."""
+    from pathlib import Path
+    root = Path(__file__).resolve().parents[2]
+    records = load_history(root)
+    assert records, "BENCH_0.json seed missing from repo root"
+    seed = records[0]
+    assert seed["schema"] == BENCH_SCHEMA
+    assert seed["cycles"]
+    assert check_history(records).ok

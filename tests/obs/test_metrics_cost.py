@@ -1,0 +1,83 @@
+"""Zero-cost-off discipline for the global metrics registry.
+
+Same acceptance shape as PR 3's observer tests: with recording
+disabled the registry must change *nothing* — not one cycle, not one
+interlock, not one byte of the manifest beyond the metrics section
+itself — and with recording enabled the hot-loop overhead on a traced
+``ear`` run stays within 5%.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness import (ExperimentRunner, Options, compile_source,
+                           load_manifest, options_for, run_compiled)
+from repro.obs import TracingObserver
+from repro.obs.metrics import REGISTRY
+from repro.workloads import WORKLOADS
+
+
+def _table6_point(recording, tmp_path, monkeypatch):
+    monkeypatch.setattr(REGISTRY, "recording", recording)
+    runner = ExperimentRunner(cache_dir=tmp_path / str(recording))
+    runner.sweep(benchmarks=["ear"], schedulers=("balanced",),
+                 configs=["lu4"])
+    result = runner._memory[("ear", "balanced", "lu4")]
+    return result, load_manifest(runner.manifest_path)
+
+
+def test_recording_off_is_bit_identical(tmp_path, monkeypatch):
+    """Recording on vs off: identical cycles, interlocks, and manifest
+    modulo the metrics section (which must appear only when on)."""
+    off_result, off_manifest = _table6_point(False, tmp_path,
+                                             monkeypatch)
+    on_result, on_manifest = _table6_point(True, tmp_path, monkeypatch)
+
+    assert on_result.total_cycles == off_result.total_cycles
+    assert on_result.load_interlock_cycles == \
+        off_result.load_interlock_cycles
+    assert on_result.fixed_interlock_cycles == \
+        off_result.fixed_interlock_cycles
+    assert on_result.instructions == off_result.instructions
+
+    # The metrics section rides along only when recording.
+    assert off_manifest.metrics is None
+    assert on_manifest.metrics is not None
+
+    # Every deterministic per-run field matches; only wall timings and
+    # the metrics section may differ between the two sweeps.
+    for off_run, on_run in zip(off_manifest.runs, on_manifest.runs):
+        off_json = off_run.to_json()
+        on_json = on_run.to_json()
+        for volatile in ("phase_seconds", "total_seconds",
+                         "instructions_per_second"):
+            off_json.pop(volatile, None)
+            on_json.pop(volatile, None)
+        assert off_json == on_json
+
+
+def test_recording_overhead_within_five_percent(monkeypatch):
+    """Traced ``ear`` run: min-of-N wall time with recording ON stays
+    within 5% of OFF (plus absolute slack against timer jitter)."""
+    workload = WORKLOADS["ear"]
+    options = Options(scheduler="balanced")
+
+    def once() -> float:
+        start = time.perf_counter()
+        result = compile_source(workload.source, options,
+                                workload.name,
+                                observer=TracingObserver())
+        run_compiled(result)
+        return time.perf_counter() - start
+
+    def best_of(n: int) -> float:
+        return min(once() for _ in range(n))
+
+    monkeypatch.setattr(REGISTRY, "recording", True)
+    best_of(1)                       # warm caches for both arms
+    on = best_of(3)
+    monkeypatch.setattr(REGISTRY, "recording", False)
+    off = best_of(3)
+    assert on <= off * 1.05 + 0.05, (
+        f"metrics overhead too high: on={on:.4f}s off={off:.4f}s")

@@ -1,0 +1,120 @@
+"""Daemon telemetry: the ``metrics`` wire op, the extended ``status``
+fields, and client/daemon latency agreement in the load-test report.
+
+The daemon runs on a thread in this process, so it shares the global
+registry with the test — every count assertion is therefore a *delta*
+across the traffic the test itself generates.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ServeClient
+from repro.serve.loadtest import run_load_test
+
+from .conftest import run
+
+
+def _counter(snapshot: dict, name: str, label: str = "") -> int:
+    family = snapshot["families"].get(name)
+    if not family:
+        return 0
+    return family["children"].get(label, 0)
+
+
+class TestMetricsOp:
+    def test_metrics_op_reflects_served_traffic(self, daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            before = client.metrics()
+            assert before["recording"] is True
+            client.bench("ora")
+            client.ping()
+            after = client.metrics()
+
+            def delta(name, label=""):
+                return _counter(after["snapshot"], name, label) - \
+                    _counter(before["snapshot"], name, label)
+
+            assert delta("repro_serve_requests_total",
+                         'op="bench"') == 1
+            assert delta("repro_serve_requests_total",
+                         'op="ping"') == 1
+            # One after-call in flight while its own snapshot is cut.
+            assert delta("repro_serve_requests_total",
+                         'op="metrics"') >= 1
+            # The worker's compile/simulate counters folded back into
+            # the daemon registry via the result frame.
+            assert delta("repro_sim_runs_total",
+                         'engine="fast"') >= 1
+
+    def test_request_latency_histogram_counts_ops(self,
+                                                  daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            before = client.metrics()
+            for _ in range(5):
+                client.ping()
+            after = client.metrics()
+        name = "repro_serve_request_seconds"
+        fam_b = before["snapshot"]["families"].get(name)
+        fam_a = after["snapshot"]["families"][name]
+        child_b = (fam_b or {"children": {}})["children"].get(
+            'op="ping"', {"count": 0})
+        child_a = fam_a["children"]['op="ping"']
+        assert child_a["count"] - child_b["count"] == 5
+        assert sum(child_a["bucket_counts"]) == child_a["count"]
+
+    def test_metrics_snapshot_merges_into_fresh_registry(
+            self, daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            client.bench("ora")
+            snapshot = client.metrics()["snapshot"]
+        local = MetricsRegistry(recording=True)
+        local.merge(snapshot)      # families/bounds all compatible
+        assert local.snapshot()["families"]
+
+    def test_summary_section_is_compact(self, daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            client.bench("ora")
+            summary = client.metrics()["summary"]
+        assert "repro_serve_requests_total" in summary
+        latency = summary["repro_serve_request_seconds"]['op="bench"']
+        assert set(latency) == {"count", "mean", "p50", "p95", "p99"}
+
+
+class TestStatusTelemetry:
+    def test_status_reports_lifecycle_counters(self, daemon_factory):
+        handle = daemon_factory()
+        with ServeClient(handle.socket_path) as client:
+            client.bench("ora")
+            client.bench("ora")      # warm: served from memory/store
+            status = client.status()
+        assert status["pool_workers"] == 2
+        assert status["requests_total"] >= 3
+        assert status["requests_by_op"]["bench"] == 2
+        assert status["requests_by_op"]["status"] == 1
+        assert status["dedup_hits"] >= 0
+        assert status["uptime_seconds"] >= 0
+
+
+class TestLoadtestLatency:
+    def test_report_carries_percentiles_and_daemon_agreement(
+            self, daemon_factory):
+        handle = daemon_factory(jobs=2)
+        report = run(run_load_test(handle.socket_path, requests=60,
+                                   connections=6))
+        assert report.ok, (report.errors, report.mismatches)
+        lat = report.latency_seconds
+        assert lat["count"] == 60
+        assert 0.0 < lat["p50"] <= lat["p95"] <= lat["p99"]
+        # The daemon's histogram delta must agree with the
+        # client-side view: exact count, mean within tolerance.
+        assert report.daemon_latency_seconds is not None
+        assert report.daemon_latency_seconds["count"] == 60
+        assert report.latency_agreement is True
+        payload = report.to_json()
+        assert payload["latency_seconds"]["count"] == 60
+        assert payload["latency_agreement"] is True

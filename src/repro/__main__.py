@@ -20,6 +20,11 @@ Commands:
   regressions when both manifests carry an oracle section);
 * ``check [BENCH]``  — static analysis: validated compiles plus lints
   over benchmarks; exits non-zero iff an error diagnostic is found;
+* ``analyze [BENCH]`` — symbolic dependence + register-pressure
+  report: per-loop memory-pair verdicts (independent / exact carried
+  distance / unknown), per-bank MAXLIVE vs the allocatable register
+  files, and the analysis lints; ``--emit-manifest``/``--attach``
+  produce the manifest ``analysis`` section ``obs-diff`` gates;
 * ``workloads``      — list the 17 benchmarks;
 * ``serve``          — start the persistent compile/bench daemon on a
   UNIX socket (see docs/SERVING.md);
@@ -249,6 +254,10 @@ def _add_compiler_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--locality", action="store_true")
     parser.add_argument("--swp", action="store_true",
                         help="software-pipeline eligible innermost loops")
+    parser.add_argument("--pressure", action="store_true",
+                        help="register-pressure feedback in the "
+                             "balanced weights (demote boosted loads "
+                             "the register file cannot afford)")
     parser.add_argument("--issue-width", type=int, default=1)
 
 
@@ -256,9 +265,15 @@ def _options(args: argparse.Namespace) -> Options:
     config = DEFAULT_CONFIG
     if args.issue_width != 1:
         config = replace(config, issue_width=args.issue_width)
-    return Options(scheduler=args.scheduler, unroll=args.unroll,
-                   trace=args.trace, locality=args.locality,
-                   swp=args.swp, config=config)
+    options = Options(scheduler=args.scheduler, unroll=args.unroll,
+                      trace=args.trace, locality=args.locality,
+                      swp=args.swp, pressure=args.pressure,
+                      config=config)
+    try:
+        options.validate()
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    return options
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -527,6 +542,59 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
         raise SystemExit(f"repro obs-diff: {exc}")
     print(result.format())
     return 0 if result.ok else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .analysis import (analysis_summary, analyze_program,
+                           attach_analysis, format_report)
+
+    names = args.names or list(WORKLOAD_ORDER)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise SystemExit(
+            f"repro analyze: unknown benchmark(s): "
+            f"{', '.join(unknown)} (known: "
+            f"{', '.join(WORKLOAD_ORDER)})")
+    options = _options(args)
+    reports = [analyze_program(WORKLOADS[name].source, options, name)
+               for name in names]
+    summary = analysis_summary(reports)
+    if args.json:
+        print(_json.dumps(reports if args.full else summary,
+                          indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(format_report(report))
+            print()
+        totals = summary["totals"]
+        print(f"{len(reports)} benchmark(s), {totals['loops']} "
+              f"loop(s), {totals['pairs']} memory pair(s): "
+              f"{totals['independent']} independent, "
+              f"{totals['exact']} exact, {totals['always']} always, "
+              f"{totals['unknown']} unknown; "
+              f"{totals['over_budget_blocks']} over-budget block(s)")
+    if args.emit_manifest:
+        from .harness.experiment import MANIFEST_VERSION
+        from .harness.store import atomic_write_json
+
+        path = Path(args.emit_manifest)
+        atomic_write_json(path, {
+            "version": MANIFEST_VERSION,
+            "kind": "analyze",
+            "runs": [],
+            "analysis": summary,
+        })
+        print(f"analysis manifest written: {path}", file=sys.stderr)
+    if args.attach:
+        path = Path(args.attach)
+        if not path.exists():
+            raise SystemExit(
+                f"repro analyze: no manifest at {path}")
+        attach_analysis(path, summary)
+        print(f"analysis section attached: {path}", file=sys.stderr)
+    return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -799,6 +867,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="relative regression threshold "
                              "(default: 0.02 = 2%%)")
     p_diff.set_defaults(fn=cmd_obs_diff)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="symbolic dependence + register-pressure report")
+    p_analyze.add_argument("names", nargs="*",
+                           help="benchmark names (default: all)")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="print the manifest-ready summary as "
+                                "JSON")
+    p_analyze.add_argument("--full", action="store_true",
+                           help="with --json: full per-loop reports "
+                                "instead of the summary")
+    p_analyze.add_argument("--emit-manifest", default=None,
+                           metavar="PATH",
+                           help="write a manifest-shaped JSON carrying "
+                                "the analysis section (obs-diff "
+                                "seed/gate input)")
+    p_analyze.add_argument("--attach", default=None, metavar="MANIFEST",
+                           help="attach the analysis section to an "
+                                "existing run manifest")
+    _add_compiler_flags(p_analyze)
+    p_analyze.set_defaults(fn=cmd_analyze)
 
     p_check = sub.add_parser(
         "check",

@@ -17,6 +17,7 @@ they become mysterious simulation failures:
 
 from __future__ import annotations
 
+from ..analysis.deps import analyze_loop_body
 from ..isa import MachineProgram
 from .regalloc import SPILL_SCRATCH
 
@@ -96,7 +97,11 @@ def verify_pipelined_kernels(cfg, kernels) -> None:
     * conflicting memory accesses must issue in iteration order:
       instances are tagged with ``(iteration offset, original body
       position)`` and any conflicting pair must appear in increasing
-      tag order.
+      tag order.  Conflict at a given instance distance is decided by a
+      *fresh* run of the symbolic dependence analyzer over the recorded
+      loop body — never by the scheduler's own arcs — so a scheduler
+      that sharpened or dropped an arc it should not have is caught
+      here, not trusted.
     """
     for info in kernels:
         block = cfg.blocks.get(info.kernel_label)
@@ -107,6 +112,8 @@ def verify_pipelined_kernels(cfg, kernels) -> None:
 
 
 def _verify_kernel_stream(instrs, info) -> None:
+    analysis = (analyze_loop_body(info.body_ops)
+                if getattr(info, "body_ops", None) else None)
     last_writer: dict = {}
     mem_seen: list = []     # ((iteration, body position), Instruction)
     for copy in range(2):
@@ -130,8 +137,8 @@ def _verify_kernel_stream(instrs, info) -> None:
                         continue
                     if instr.is_load and other.is_load:
                         continue
-                    same_iter = other_key[0] == key[0]
-                    if _kernel_mem_conflict(instr, other, same_iter):
+                    if _kernel_mem_conflict(instr, key, other, other_key,
+                                            analysis):
                         raise VerificationError(
                             f"cross-iteration memory dependence broken: "
                             f"conflicts with later iteration's "
@@ -141,17 +148,33 @@ def _verify_kernel_stream(instrs, info) -> None:
                 last_writer[reg] = instr.uid
 
 
-def _kernel_mem_conflict(a, b, same_iter: bool) -> bool:
-    """Mirror of the scheduler's aliasing rules: within one iteration
-    the affine-subscript refinement applies (the induction value is
-    fixed, so provably-distinct subscripts cannot collide); across
-    iterations only region+symbol disambiguation is sound."""
-    if a.mem is None or b.mem is None:
+def _kernel_mem_conflict(earlier, earlier_key, later, later_key,
+                         analysis) -> bool:
+    """May the *earlier*-tagged instance conflict with the *later* one?
+
+    With a body analysis available, conflict at instance distance
+    ``later_iter - earlier_iter`` is decided by the symbolic verdict
+    for the two body positions; at distance 0 the intra-iteration
+    affine refinement of :meth:`MemRef.conflicts_with` additionally
+    applies (both tests over-approximate, so their intersection is
+    still sound).  Without an analysis (legacy kernels), fall back to
+    the old rule: affine refinement within an iteration, region+symbol
+    across iterations."""
+    same_iter = later_key[0] == earlier_key[0]
+    if analysis is not None:
+        distance = later_key[0] - earlier_key[0]
+        conflict = analysis.conflicts_at(earlier_key[1], later_key[1],
+                                         distance)
+        if (conflict and same_iter and earlier.mem is not None
+                and later.mem is not None):
+            conflict = earlier.mem.conflicts_with(later.mem)
+        return conflict
+    if earlier.mem is None or later.mem is None:
         return True
     if same_iter:
-        return a.mem.conflicts_with(b.mem)
-    return (a.mem.region == b.mem.region
-            and a.mem.symbol == b.mem.symbol)
+        return earlier.mem.conflicts_with(later.mem)
+    return (earlier.mem.region == later.mem.region
+            and earlier.mem.symbol == later.mem.symbol)
 
 
 def _is_scratch(reg) -> bool:

@@ -74,6 +74,11 @@ class Options:
     # Ablation knobs for the balanced weight computation.
     balanced_component_sharing: bool = True
     balanced_cap: Optional[float] = None
+    #: Register-pressure feedback in the balanced weights: demote
+    #: boosted loads the register file cannot afford (see
+    #: :class:`repro.sched.weights.BalancedWeights`).  Off by default —
+    #: the paper-calibrated grid is measured without it.
+    pressure: bool = False
 
     def label(self) -> str:
         """Unambiguous config label: every knob that changes generated
@@ -92,6 +97,8 @@ class Options:
             parts.append("nopred")
         if self.extra_opts:
             parts.append("xopts")
+        if self.pressure:
+            parts.append("prs")
         return "+".join(parts)
 
     def validate(self) -> None:
@@ -102,6 +109,9 @@ class Options:
         if self.swp and self.scheduler == "none":
             raise ValueError("swp requires a scheduler "
                              "(balanced or traditional)")
+        if self.pressure and self.scheduler != "balanced":
+            raise ValueError("pressure feedback applies to the "
+                             "balanced scheduler only")
 
 
 @dataclass
@@ -133,7 +143,8 @@ def make_weight_model(options: Options) -> Optional[WeightModel]:
             options.config,
             use_locality=options.locality,
             component_sharing=options.balanced_component_sharing,
-            cap=options.balanced_cap)
+            cap=options.balanced_cap,
+            pressure=options.pressure)
     return None
 
 

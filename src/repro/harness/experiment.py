@@ -92,8 +92,12 @@ MANIFEST_NAME = "run-manifest.json"
 #: by ``repro obs-diff``).  v5 added the optional ``metrics`` section
 #: (the folded :mod:`repro.obs.metrics` registry of the sweep: a
 #: p50/p95/p99 summary plus the raw mergeable snapshot), omitted when
-#: recording is off (``REPRO_METRICS=0``).
-MANIFEST_VERSION = 5
+#: recording is off (``REPRO_METRICS=0``).  v6 added the optional
+#: ``analysis`` section (dependence/pressure summary from
+#: ``repro analyze --attach``/``--emit-manifest``, gated by
+#: ``repro obs-diff``: losing proving power or growing MAXLIVE is a
+#: regression).
+MANIFEST_VERSION = 6
 
 
 @dataclass

@@ -91,6 +91,10 @@ class DiffResult:
     #: sections (manifest v4); empty when either side lacks one.
     oracle_regressions: list[str] = field(default_factory=list)
     oracle_points: int = 0
+    #: Dependence/pressure regressions from the manifests' ``analysis``
+    #: sections (manifest v6); empty when either side lacks one.
+    analysis_regressions: list[str] = field(default_factory=list)
+    analysis_points: int = 0
 
     @property
     def regressed(self) -> list[tuple[PointDelta, list[str]]]:
@@ -103,13 +107,17 @@ class DiffResult:
 
     @property
     def ok(self) -> bool:
-        return not self.regressed and not self.oracle_regressions
+        return not self.regressed and not self.oracle_regressions \
+            and not self.analysis_regressions
 
     def format(self) -> str:
         lines = [f"compared {len(self.deltas)} grid point(s), "
                  f"threshold {100 * self.threshold:.2f}%"]
         if self.oracle_points:
             lines[0] += f" (+ {self.oracle_points} oracle point(s))"
+        if self.analysis_points:
+            lines[0] += (f" (+ {self.analysis_points} analysis "
+                         f"point(s))")
         for delta in self.deltas:
             mark = "REGRESSED" if delta.regressions(self.threshold) \
                 else "ok"
@@ -130,6 +138,8 @@ class DiffResult:
                 lines.append(f"  !! {delta.key}: {reason}")
         for reason in self.oracle_regressions:
             lines.append(f"  !! oracle: {reason}")
+        for reason in self.analysis_regressions:
+            lines.append(f"  !! analysis: {reason}")
         if self.ok:
             lines.append("no regressions")
         return "\n".join(lines)
@@ -177,6 +187,49 @@ def _diff_oracle(base: dict, new: dict,
     return reasons, len(base_points)
 
 
+def _diff_analysis(base: dict, new: dict,
+                   threshold: float) -> tuple[list[str], int]:
+    """Gate the dependence/pressure sections of two v6 manifests.
+
+    Flags, per analysis point present in the baseline: lost proving
+    power (fewer independent pairs or more unknown verdicts — the
+    analyzer got weaker), more over-budget blocks, and per-bank
+    MAXLIVE growth beyond the relative threshold (a scheduling change
+    quietly costing registers).
+    """
+    reasons: list[str] = []
+    base_points = base.get("points", {})
+    new_points = new.get("points", {})
+    for key, b in sorted(base_points.items()):
+        n = new_points.get(key)
+        if n is None:
+            reasons.append(f"{key} missing from new manifest")
+            continue
+        if n.get("independent", 0) < b.get("independent", 0):
+            reasons.append(
+                f"{key}: independent pairs dropped "
+                f"{b.get('independent', 0)} -> "
+                f"{n.get('independent', 0)}")
+        if n.get("unknown", 0) > b.get("unknown", 0):
+            reasons.append(
+                f"{key}: unknown verdicts grew "
+                f"{b.get('unknown', 0)} -> {n.get('unknown', 0)}")
+        if n.get("over_budget_blocks", 0) > \
+                b.get("over_budget_blocks", 0):
+            reasons.append(
+                f"{key}: over-budget blocks grew "
+                f"{b.get('over_budget_blocks', 0)} -> "
+                f"{n.get('over_budget_blocks', 0)}")
+        for name in ("max_live_i", "max_live_f"):
+            delta = n.get(name, 0) - b.get(name, 0)
+            if delta > 0 and (not b.get(name)
+                              or delta / b[name] > threshold):
+                reasons.append(
+                    f"{key}: {name} {b.get(name, 0)} -> "
+                    f"{n.get(name, 0)}")
+    return reasons, len(base_points)
+
+
 def diff_manifests(base: dict, new: dict,
                    threshold: float = 0.02) -> DiffResult:
     """Compare two run-manifest dicts; see the module docstring."""
@@ -186,6 +239,9 @@ def diff_manifests(base: dict, new: dict,
     if base.get("oracle") and new.get("oracle"):
         result.oracle_regressions, result.oracle_points = _diff_oracle(
             base["oracle"], new["oracle"], threshold)
+    if base.get("analysis") and new.get("analysis"):
+        result.analysis_regressions, result.analysis_points = \
+            _diff_analysis(base["analysis"], new["analysis"], threshold)
     for key, base_entry in base_runs.items():
         new_entry = new_runs.get(key)
         if new_entry is None:

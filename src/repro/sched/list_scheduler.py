@@ -16,6 +16,7 @@ scheduler; it returns a permutation of node indices.
 from __future__ import annotations
 
 from ..ir.dag import Dag
+from ..machine.config import DEFAULT_CONFIG
 from .weights import WeightModel
 
 
@@ -35,17 +36,20 @@ def priorities(dag: Dag, weights: list[float]) -> list[float]:
 def list_schedule(dag: Dag, model: WeightModel) -> list[int]:
     """Schedule *dag* with *model*'s weights; return the new node order."""
     weights = model.weights(dag)
-    return list_schedule_with_weights(dag, weights)
+    limit = model.config.pressure_limit
+    return list_schedule_with_weights(dag, weights, pressure_limit=limit)
 
 
-#: When this many values of one register bank are simultaneously live,
-#: the scheduler stops picking instructions that grow that bank further
-#: (if any other ready instruction exists).  Keeps aggressive load
-#: hoisting from overwhelming the 28 allocatable registers per bank.
-PRESSURE_LIMIT = 24
+#: Default live-value throttle, derived from the default machine's
+#: register files (allocatable bank size minus headroom — 24 on the
+#: 32+32 Alpha files).  Schedulers running under a custom
+#: :class:`MachineConfig` get their limit from that config instead.
+PRESSURE_LIMIT = DEFAULT_CONFIG.pressure_limit
 
 
-def list_schedule_with_weights(dag: Dag, weights: list[float]) -> list[int]:
+def list_schedule_with_weights(
+        dag: Dag, weights: list[float],
+        pressure_limit: int = PRESSURE_LIMIT) -> list[int]:
     n = len(dag.instrs)
     if n == 0:
         return []
@@ -74,7 +78,7 @@ def list_schedule_with_weights(dag: Dag, weights: list[float]) -> list[int]:
         ins = dag.instrs[node]
         for reg in ins.defs():
             bank = reg.kind
-            if live[bank] < PRESSURE_LIMIT:
+            if live[bank] < pressure_limit:
                 continue
             freed = sum(1 for use in set(ins.uses())
                         if use.kind == bank and remaining_uses[use] == 1)

@@ -15,16 +15,24 @@ operations: the intra-iteration DAG edges from :func:`~repro.ir.dag
 .build_dag` plus loop-carried register and memory dependences, each
 annotated with a latency and an iteration *distance*.
 
-Distances are conservative but simple:
+Register distances are conservative but simple: a register use whose
+most recent in-body definition follows it in program order (or an
+operand defined only later in the body) reads the value produced one
+iteration earlier -- distance 1 from the last in-body definition.
 
-* a register use whose most recent in-body definition follows it in
-  program order (or an operand defined only later in the body) reads
-  the value produced one iteration earlier -- distance 1 from the last
-  in-body definition;
-* conflicting memory references (same region and symbol, at least one
-  store) get distance-1 edges in *both* directions; a distance-1 edge
-  subsumes every larger distance because the kernel emits iterations in
-  virtual-time order.
+Memory distances are *exact* where the symbolic dependence analyzer
+(:mod:`repro.analysis.deps`) can prove them: provably-independent
+reference pairs get no carried arc at all, pairs with a known conflict
+window get an arc at the minimum carried distance (an arc at distance
+``d`` subsumes every larger distance because the kernel emits
+iterations in virtual-time order), and anything the analyzer cannot
+model falls back to the old blanket distance-1 arc.  Every sharpened
+kernel is re-validated end-to-end: :func:`repro.codegen.verify
+.verify_pipelined_kernels` re-runs the same analyzer *independently*
+over the recorded body and replays the doubled kernel stream against
+its verdicts, so a bug here (or a deliberately weakened analyzer — see
+``REPRO_WEAKEN_DEPS``) surfaces as a hard verification error, not a
+silent miscompile.
 
 Latencies come from the active weight model, so balanced weights give
 loads their parallelism-derived target latency and the modulo schedule
@@ -35,9 +43,11 @@ separates loads from their uses across pipeline stages -- this is how
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from ...analysis.deps import LoopBodyDeps, analyze_loop_body
 from ...ir.cfg import BasicBlock, Cfg
 from ...ir.dag import MEM, OUT, TRUE, build_dag
 from ...ir.liveness import block_use_def
@@ -214,6 +224,15 @@ class LoopDeps:
     use_producer: list[dict[Reg, int]]
     #: All in-body definition sites per register, in program order.
     defs_of: dict[Reg, list[int]]
+    #: Symbolic memory analysis of the body (the verifier re-derives
+    #: its own copy from the recorded kernel body; this one is for the
+    #: scheduler and for reporting).
+    body_deps: Optional[LoopBodyDeps] = None
+    #: Carried-memory arc accounting: pairs proven independent (arc
+    #: dropped), pairs with an exact distance, pairs kept conservative.
+    mem_dropped: int = 0
+    mem_exact: int = 0
+    mem_conservative: int = 0
 
 
 def analyze_deps(ops: list[Instruction], config: MachineConfig,
@@ -273,35 +292,50 @@ def analyze_deps(ops: list[Instruction], config: MachineConfig,
                     if a != b:
                         edges.append(DepEdge(a, b, OUT, 1, 1))
 
-    # Loop-carried memory dependences: conservative distance-1 arcs in
-    # both directions between conflicting references (at least one
-    # store).  Distance 1 subsumes all larger distances because kernel
-    # emission preserves virtual-time order.
+    # Loop-carried memory dependences.  The symbolic analyzer decides,
+    # per ordered pair, the minimum iteration distance at which the two
+    # references can still touch the same location: no carried conflict
+    # -> no arc, exact window -> arc at the minimum carried distance
+    # (which subsumes all larger distances: kernel emission preserves
+    # virtual-time order), unknown -> the old blanket distance-1 arc.
+    # Intra-iteration (distance 0) ordering stays build_dag's job.
+    body_deps = analyze_loop_body(ops)
+    weaken = weaken_distances()
+    dropped = exact = conservative = 0
     mem_ops = [pos for pos, ins in enumerate(ops) if ins.is_mem]
     for a in mem_ops:
         for b in mem_ops:
             if a == b:
                 continue
-            ins_a, ins_b = ops[a], ops[b]
-            if ins_a.is_load and ins_b.is_load:
+            if ops[a].is_load and ops[b].is_load:
                 continue
-            if _mem_conflict(ins_a, ins_b):
-                edges.append(DepEdge(a, b, MEM, 1, 1))
+            verdict = body_deps.verdict(a, b)
+            distance = verdict.carried_distance()
+            if distance is None:
+                dropped += 1
+                continue
+            if verdict.kind == "exact":
+                exact += 1
+            else:
+                conservative += 1
+            if weaken:
+                distance += 1        # deliberately unsound (see below)
+            edges.append(DepEdge(a, b, MEM, 1, distance))
 
     return LoopDeps(ops=ops, edges=edges, latency=latency,
                     use_dist=use_dist, use_producer=use_producer,
-                    defs_of=defs_of)
+                    defs_of=defs_of, body_deps=body_deps,
+                    mem_dropped=dropped, mem_exact=exact,
+                    mem_conservative=conservative)
 
 
-def _mem_conflict(a: Instruction, b: Instruction) -> bool:
-    """Cross-iteration conflict test: region+symbol only.
+def weaken_distances() -> bool:
+    """True when ``REPRO_WEAKEN_DEPS`` asks for *deliberately wrong*
+    carried-memory distances (every arc one iteration too loose).
 
-    The affine-subscript refinement in :meth:`MemRef.conflicts_with`
-    is only valid within one iteration (equal coefficients, unequal
-    constants); across iterations the induction variable changes, so
-    any overlap of region and symbol must be respected.
-    """
-    if a.mem is None or b.mem is None:
-        return True
-    return (a.mem.region == b.mem.region
-            and a.mem.symbol == b.mem.symbol)
+    This is the CI must-fail knob: it proves the kernel verifier's
+    independent replay actually polices the scheduler's arcs.  A
+    weakened recurrence distance admits a tighter II than the real
+    dependence allows, and the doubled-kernel replay must reject the
+    resulting stream."""
+    return os.environ.get("REPRO_WEAKEN_DEPS", "") not in ("", "0")

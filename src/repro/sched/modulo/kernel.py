@@ -61,7 +61,8 @@ class Mve:
 
 
 def plan_mve(deps: LoopDeps, sched: ModuloSchedule, max_unroll: int,
-             fresh: Callable[[str], Reg]) -> Union[Mve, str]:
+             fresh: Callable[[str], Reg],
+             live_through: frozenset[Reg] = frozenset()) -> Union[Mve, str]:
     """Compute version counts; returns a bail-reason string on failure.
 
     A value defined at time ``t_d`` (first definition of its register)
@@ -71,6 +72,12 @@ def plan_mve(deps: LoopDeps, sched: ModuloSchedule, max_unroll: int,
     the same instruction with distance 1 (an accumulator like
     ``FADD f, f, x``), where the read architecturally precedes the
     overwrite inside one instruction.
+
+    *live_through* holds registers live across the loop (needed after
+    the exit, never referenced by the body): they pin a register each
+    for the kernel's whole extent, so the pressure estimate must count
+    them — the old distinct-register count missed them and could wave
+    through kernels whose expansion left the allocator short.
     """
     times, ii = sched.times, sched.ii
     first_def: dict[Reg, tuple[int, int]] = {}
@@ -106,7 +113,8 @@ def plan_mve(deps: LoopDeps, sched: ModuloSchedule, max_unroll: int,
             return REASON_CMOV_CARRIED
 
     # Register-pressure estimate for the kernel: distinct registers
-    # after renaming, plus the kernel counter.
+    # after renaming, plus the kernel counter, plus every live-through
+    # value the kernel must carry untouched.
     counts = {"i": 1, "f": 0}
     seen: set[Reg] = set()
     for ins in deps.ops:
@@ -115,6 +123,9 @@ def plan_mve(deps: LoopDeps, sched: ModuloSchedule, max_unroll: int,
                 continue
             seen.add(reg)
             counts[reg.kind] += ku if reg in k_of else 1
+    for reg in live_through:
+        if reg not in seen and not reg.is_zero:
+            counts[reg.kind] += 1
     if any(counts[kind] > _BANK_BUDGET[kind] for kind in counts):
         return REASON_PRESSURE
 
@@ -249,7 +260,8 @@ def build_pipeline(cfg: Cfg, shape: LoopShape, deps: LoopDeps,
 
     # --------------------------------------------------- kernel block
     info = KernelInfo(loop_label=shape.label, kernel_label=label_ker,
-                      ii=ii, stages=sc, unroll=ku)
+                      ii=ii, stages=sc, unroll=ku,
+                      body_ops=list(ops))
     ker_instrs: list[Instruction] = []
     inst_uid: dict[tuple[int, int], int] = {}
     for r in range(ku):

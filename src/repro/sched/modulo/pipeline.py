@@ -130,6 +130,9 @@ def _pipeline_one(cfg: Cfg, header: str, config: MachineConfig,
     bail.res_mii, bail.rec_mii, bail.mii = res, rec, mii
     recurrence = witness.to_json() if witness is not None else None
     bail.recurrence = recurrence
+    bail.mem_dropped = deps.mem_dropped
+    bail.mem_exact = deps.mem_exact
+    bail.mem_conservative = deps.mem_conservative
 
     sched = None
     for ii in range(mii, II_RANGE_FACTOR * mii + 1):
@@ -149,7 +152,13 @@ def _pipeline_one(cfg: Cfg, header: str, config: MachineConfig,
         bail.reason = REASON_STAGES
         return bail
 
-    mve = plan_mve(deps, sched, MAX_UNROLL, fresh)
+    body_refs: set[Reg] = set()
+    for ins in shape.ops:
+        body_refs.update(ins.uses())
+        body_refs.update(ins.defs())
+    live_through = frozenset(r for r in live_into_exit
+                             if r not in body_refs and not r.is_zero)
+    mve = plan_mve(deps, sched, MAX_UNROLL, fresh, live_through)
     if not isinstance(mve, Mve):
         bail.reason = mve
         return bail
@@ -161,4 +170,6 @@ def _pipeline_one(cfg: Cfg, header: str, config: MachineConfig,
         label=header, pipelined=True, n_ops=n_ops,
         res_mii=res, rec_mii=rec, mii=mii, ii=sched.ii,
         stages=sched.stage_count, unroll=mve.ku,
-        recurrence=recurrence)
+        recurrence=recurrence,
+        mem_dropped=deps.mem_dropped, mem_exact=deps.mem_exact,
+        mem_conservative=deps.mem_conservative)

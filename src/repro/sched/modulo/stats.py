@@ -44,6 +44,13 @@ class LoopPipelineStats:
     #: whenever a dependence cycle binds the II from below — this is
     #: *why* RecMII is what it is.
     recurrence: Optional[dict] = None
+    #: Carried-memory arc accounting from the symbolic dependence
+    #: analyzer: reference pairs proven independent (no arc emitted),
+    #: pairs given an exact carried distance, pairs kept at the
+    #: conservative blanket distance 1.
+    mem_dropped: int = 0
+    mem_exact: int = 0
+    mem_conservative: int = 0
 
     @property
     def ii_over_mii(self) -> float:
@@ -64,6 +71,9 @@ class LoopPipelineStats:
             "stages": self.stages,
             "unroll": self.unroll,
             "recurrence": self.recurrence,
+            "mem_dropped": self.mem_dropped,
+            "mem_exact": self.mem_exact,
+            "mem_conservative": self.mem_conservative,
         }
 
 
@@ -92,6 +102,11 @@ class KernelInfo:
     #: stream.
     expected_writer: dict[tuple[int, str], int] = field(
         default_factory=dict)
+    #: The loop body fed to the modulo scheduler, in original program
+    #: order.  The verifier re-runs the symbolic dependence analyzer
+    #: over these ops — independently of the scheduler's arcs — to
+    #: decide which instance pairs may conflict at which distances.
+    body_ops: list = field(default_factory=list)
 
 
 @dataclass

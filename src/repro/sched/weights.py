@@ -11,7 +11,13 @@ Weights drive the list scheduler's priorities (paper section 4.2):
 * with **locality analysis**, loads marked ``HIT`` keep the optimistic
   weight (their latency estimate is exact) and drop out of the
   balancing set, freeing independent instructions for loads that miss
-  (section 3.3).
+  (section 3.3);
+* with **pressure feedback** (opt-in), the model schedules the block
+  with the boosted weights, measures the per-bank MAXLIVE of the
+  resulting order, and only when a bank overflows its allocatable
+  size demotes the lowest-weighted boosted loads back to the hit
+  floor and re-measures — trading hidden latency for not spilling,
+  and only in blocks where the allocator would otherwise spill.
 
 Balanced weight computation, per DAG:
 
@@ -82,6 +88,12 @@ class BalancedWeights(WeightModel):
             *all* loads it could help, ignoring series/parallel
             structure.
         cap: override the weight cap (None = no cap; ablation).
+        pressure: enable the register-pressure feedback term — the
+            block is trial-scheduled with the boosted weights and,
+            only when the measured per-bank MAXLIVE overflows the
+            allocatable bank size, the lowest-weighted boosted loads
+            fall back to the hit floor (so the scheduler keeps their
+            live ranges short) until the schedule fits.
     """
 
     name = "balanced"
@@ -89,11 +101,13 @@ class BalancedWeights(WeightModel):
     def __init__(self, config: MachineConfig = DEFAULT_CONFIG,
                  use_locality: bool = True,
                  component_sharing: bool = True,
-                 cap: float | None = None) -> None:
+                 cap: float | None = None,
+                 pressure: bool = False) -> None:
         self.config = config
         self.use_locality = use_locality
         self.component_sharing = component_sharing
         self.cap = float(config.max_load_weight) if cap is None else cap
+        self.pressure = pressure
 
     def _in_balance_set(self, instr: Instruction) -> bool:
         if not instr.is_load:
@@ -181,7 +195,97 @@ class BalancedWeights(WeightModel):
             weight = max(floor, weight)
             weight = min(self.cap, weight)
             result[node] = weight
+        if self.pressure:
+            self._apply_pressure_feedback(dag, loads, result, floor)
         return result
+
+    def _apply_pressure_feedback(self, dag: Dag, loads: list[int],
+                                 result: list[float],
+                                 floor: float) -> None:
+        """Demote boosted loads the register file cannot afford.
+
+        Feedback loop: schedule the block with the boosted weights,
+        measure the per-bank MAXLIVE of the order the scheduler
+        actually produced, and — only when a bank overflows its
+        allocatable size (i.e. the allocator *would* spill) — strip
+        the boost from the lowest-weighted loads of that bank and
+        re-measure.  Blocks whose boosted schedule fits are left
+        entirely alone, so the feedback can only ever trade hidden
+        latency against real spill traffic."""
+        from .list_scheduler import list_schedule_with_weights
+
+        budget = {"i": self.config.allocatable_int_regs,
+                  "f": self.config.allocatable_fp_regs}
+        limit = self.config.pressure_limit
+        for _ in range(4):
+            order = list_schedule_with_weights(dag, result,
+                                               pressure_limit=limit)
+            maxlive = _scheduled_maxlive(dag, order)
+            demoted = False
+            for bank in ("i", "f"):
+                excess = maxlive[bank] - budget[bank]
+                if excess <= 0:
+                    continue
+                boosted = sorted(
+                    (node for node in loads
+                     if dag.instrs[node].dest is not None
+                     and dag.instrs[node].dest.kind == bank
+                     and result[node] > floor),
+                    key=lambda node: (result[node], -node))
+                for node in boosted[:excess]:
+                    result[node] = floor
+                    demoted = True
+            if not demoted:
+                return
+
+
+def _scheduled_maxlive(dag: Dag, order: list[int]) -> dict[str, int]:
+    """Per-bank MAXLIVE of a scheduled block order.
+
+    A register is live from its first definition (or slot 0 when read
+    before any local definition, i.e. live in) to its last local read;
+    a value whose final definition is never read in the block is
+    assumed live out and held to the end.  Zero registers are ignored
+    — they never occupy an allocatable slot.
+    """
+    n = len(order)
+    maxlive = {"i": 0, "f": 0}
+    if n == 0:
+        return maxlive
+    first_def: dict = {}
+    last_def: dict = {}
+    first_use: dict = {}
+    last_use: dict = {}
+    for slot, node in enumerate(order):
+        ins = dag.instrs[node]
+        for reg in ins.uses():
+            if not reg.is_zero:
+                first_use.setdefault(reg, slot)
+                last_use[reg] = slot
+        for reg in ins.defs():
+            if not reg.is_zero:
+                first_def.setdefault(reg, slot)
+                last_def[reg] = slot
+    start_at: list[list[str]] = [[] for _ in range(n)]
+    end_at: list[list[str]] = [[] for _ in range(n)]
+    for reg in set(first_def) | set(first_use):
+        fd = first_def.get(reg)
+        fu = first_use.get(reg)
+        start = fd if fd is not None and (fu is None or fd <= fu) else 0
+        lu = last_use.get(reg, -1)
+        end = lu if lu >= last_def.get(reg, -1) else n - 1
+        start_at[start].append(reg.kind)
+        end_at[end].append(reg.kind)
+    live = {"i": 0, "f": 0}
+    for slot in range(n):
+        for bank in start_at[slot]:
+            live[bank] += 1
+        for bank in ("i", "f"):
+            if live[bank] > maxlive[bank]:
+                maxlive[bank] = live[bank]
+        for bank in end_at[slot]:
+            live[bank] -= 1
+    return maxlive
 
 
 def _comparability_components(mask: int, reach: list[int]) -> list[list[int]]:

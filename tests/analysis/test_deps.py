@@ -1,0 +1,308 @@
+"""Symbolic dependence tests: battery units, brute force, mutations."""
+
+from types import SimpleNamespace
+
+import pytest
+
+import repro.analysis.deps as deps_mod
+from repro.analysis.affine import AffineForm
+from repro.analysis.deps import (
+    ALWAYS,
+    EXACT,
+    INDEPENDENT,
+    UNKNOWN,
+    ConflictEquation,
+    DepVerdict,
+    _banerjee,
+    _gcd,
+    _siv,
+    _ziv,
+    classify,
+    classify_source_pair,
+)
+
+
+def _eq(iter_coeff=0, dist_coeff=0, free=(), const=0, width=1,
+        iter_bounds=None, dist_bounds=None, var_bounds=()):
+    return ConflictEquation(
+        iter_coeff=iter_coeff, dist_coeff=dist_coeff,
+        free_coeffs=tuple(free), const=const, width=width,
+        iter_bounds=iter_bounds, dist_bounds=dist_bounds,
+        var_bounds=tuple(var_bounds))
+
+
+# ------------------------------------------------------------ unit: ZIV
+def test_ziv_constant_zero_always_conflicts():
+    v = _ziv(_eq(const=0))
+    assert v.kind == ALWAYS and v.test == "ziv"
+    assert v.conflicts_at(0) and v.conflicts_at(3)
+
+
+def test_ziv_constant_offset_independent():
+    v = _ziv(_eq(const=5))
+    assert v.kind == INDEPENDENT and v.test == "ziv"
+    assert not v.conflicts_at(0)
+    assert v.carried_distance() is None
+
+
+def test_ziv_byte_domain_partial_overlap():
+    # Byte domain (width 8): addresses 4 apart still overlap an
+    # 8-byte access, 8 apart do not.
+    assert _ziv(_eq(const=4, width=8)).kind == ALWAYS
+    assert _ziv(_eq(const=8, width=8)).kind == INDEPENDENT
+
+
+def test_ziv_not_applicable_with_any_coefficient():
+    assert _ziv(_eq(dist_coeff=1)) is None
+    assert _ziv(_eq(iter_coeff=1)) is None
+    assert _ziv(_eq(free=(("m", 1),))) is None
+
+
+# ------------------------------------------------------------ unit: SIV
+def test_siv_exact_single_distance():
+    # d - 2 == 0  =>  conflict exactly at distance 2.
+    v = _siv(_eq(dist_coeff=1, const=-2))
+    assert v.kind == EXACT and v.test == "siv"
+    assert (v.lo, v.hi) == (2, 2)
+    assert v.carried_distance() == 2
+    assert v.conflicts_at(2) and not v.conflicts_at(1)
+
+
+def test_siv_no_integer_solution():
+    # 2d + 1 == 0 has no integer root.
+    v = _siv(_eq(dist_coeff=2, const=1))
+    assert v.kind == INDEPENDENT
+
+
+def test_siv_byte_domain_window():
+    # |8d| < 8 only at d == 0: same address, stride 8.
+    v = _siv(_eq(dist_coeff=8, width=8))
+    assert v.kind == EXACT and (v.lo, v.hi) == (0, 0)
+    assert v.intra and v.carried_distance() is None
+
+
+def test_siv_negative_window_direction():
+    # d + 2 == 0  =>  conflict only at d == -2 (other direction).
+    v = _siv(_eq(dist_coeff=1, const=2))
+    assert v.kind == EXACT and (v.lo, v.hi) == (-2, -2)
+    assert v.carried_distance() is None
+
+
+def test_siv_not_applicable():
+    assert _siv(_eq(dist_coeff=0, const=1)) is None
+    assert _siv(_eq(iter_coeff=1, dist_coeff=1)) is None
+    assert _siv(_eq(dist_coeff=1, free=(("m", 1),))) is None
+
+
+# ------------------------------------------------------- unit: Banerjee
+def test_banerjee_refutes_bounded_interval():
+    # i in [0,4], difference = i + 6 in [6,10]: never near zero.
+    v = _banerjee(_eq(iter_coeff=1, const=6, iter_bounds=(0, 4)))
+    assert v.kind == INDEPENDENT and v.test == "banerjee"
+
+
+def test_banerjee_interval_straddles_zero():
+    assert _banerjee(_eq(iter_coeff=1, const=-2,
+                         iter_bounds=(0, 4))) is None
+
+
+def test_banerjee_needs_bounds_for_every_term():
+    assert _banerjee(_eq(iter_coeff=1, const=100)) is None
+    assert _banerjee(_eq(free=(("m", 1),), const=100)) is None
+
+
+def test_banerjee_free_var_bounds():
+    v = _banerjee(_eq(free=(("m", 1),), const=10,
+                      var_bounds=(("m", (0, 2)),)))
+    assert v.kind == INDEPENDENT
+
+
+# ------------------------------------------------------------ unit: GCD
+def test_gcd_refutes_odd_offset():
+    # 2i + 2d == -1 has no integer solution: gcd 2 cannot hit 1.
+    v = _gcd(_eq(iter_coeff=2, dist_coeff=2, const=1))
+    assert v.kind == INDEPENDENT and v.test == "gcd"
+
+
+def test_gcd_divisible_offset_inconclusive():
+    assert _gcd(_eq(iter_coeff=2, dist_coeff=2, const=2)) is None
+
+
+def test_gcd_unit_gcd_inconclusive():
+    assert _gcd(_eq(iter_coeff=2, dist_coeff=3, const=1)) is None
+
+
+def test_gcd_byte_domain_respects_width():
+    # Stride 16 bytes, offset 8: every delta in (-8, 8) misses the
+    # multiples of 16 shifted by 8.
+    v = _gcd(_eq(dist_coeff=16, const=8, width=8))
+    assert v.kind == INDEPENDENT
+    # Offset 4: delta 4 works, refutation must not fire.
+    assert _gcd(_eq(dist_coeff=16, const=4, width=8)) is None
+
+
+# ----------------------------------------------------- classify battery
+def test_classify_none_equation_is_unknown():
+    v = classify(None)
+    assert v.kind == UNKNOWN and v.conflicts_at(0)
+
+
+def test_classify_battery_order():
+    assert classify(_eq(const=0)).test == "ziv"
+    assert classify(_eq(dist_coeff=1)).test == "siv"
+    assert classify(_eq(iter_coeff=1, const=9,
+                        iter_bounds=(0, 4))).test == "banerjee"
+    assert classify(_eq(iter_coeff=2, dist_coeff=2, const=1)).test == "gcd"
+
+
+def test_classify_gives_up_gracefully():
+    v = classify(_eq(iter_coeff=1, const=0))
+    assert v.kind == UNKNOWN
+
+
+# ------------------------------------------------- source-level wrapper
+def _access(array, step, const, ivar="i"):
+    flat = (AffineForm.variable(ivar).scale(step)
+            .add(AffineForm.constant(const)))
+    return SimpleNamespace(array=SimpleNamespace(name=array), flat=flat)
+
+
+def test_classify_source_pair_different_arrays():
+    a = _access("X", 1, 0)
+    b = _access("Y", 1, 0)
+    v = classify_source_pair(a, b, "i")
+    assert v.kind == INDEPENDENT and v.test == "symbol"
+
+
+def test_classify_source_pair_opaque_subscript_unknown():
+    a = _access("X", 1, 0)
+    b = SimpleNamespace(array=SimpleNamespace(name="X"), flat=None)
+    assert classify_source_pair(a, b, "i").kind == UNKNOWN
+
+
+def test_classify_source_pair_shifted_exact():
+    # X[i] vs X[i-1]: b at iteration i+1 rereads a's element.
+    a = _access("X", 1, 0)
+    b = _access("X", 1, -1)
+    v = classify_source_pair(a, b, "i")
+    assert v.kind == EXACT and v.carried_distance() == 1
+
+
+# ------------------------------------------------- brute-force fuzzing
+def _realized_distances(sa, ca, sb, cb, n):
+    """All d = j - i >= 0 with sb*j + cb == sa*i + ca, i,j in [0,n)."""
+    out = set()
+    for i in range(n):
+        for j in range(i, n):
+            if sb * j + cb == sa * i + ca:
+                out.add(j - i)
+    return out
+
+
+@pytest.mark.parametrize("sa", range(-2, 3))
+@pytest.mark.parametrize("sb", range(-2, 3))
+def test_source_pair_verdicts_sound_and_precise(sa, sb):
+    """Exhaustive check over a coefficient/offset grid at trip 5.
+
+    Soundness: every realized same-element pair (i, j) with j >= i must
+    be admitted by ``conflicts_at(j - i)``.  Precision: independent
+    verdicts must have no realized pair, exact windows no realized pair
+    outside them.
+    """
+    n = 5
+    for ca in range(-3, 4):
+        for cb in range(-3, 4):
+            a = _access("X", sa, ca)
+            b = _access("X", sb, cb)
+            v = classify_source_pair(a, b, "i", iter_bounds=(0, n - 1))
+            realized = _realized_distances(sa, ca, sb, cb, n)
+            for d in realized:
+                assert v.conflicts_at(d), (
+                    f"unsound: {sa}i+{ca} vs {sb}i+{cb} conflicts at "
+                    f"d={d} but verdict is {v}")
+            if v.kind == INDEPENDENT:
+                assert not realized, (
+                    f"imprecise claim: {sa}i+{ca} vs {sb}i+{cb} marked "
+                    f"independent but conflicts at {sorted(realized)}")
+            elif v.kind == EXACT:
+                outside = {d for d in realized
+                           if not v.lo <= d <= v.hi}
+                assert not outside, (
+                    f"window [{v.lo},{v.hi}] misses distances "
+                    f"{sorted(outside)}")
+
+
+def test_fuzzer_grid_is_not_vacuous():
+    """The grid exercises every verdict kind except UNKNOWN."""
+    kinds = set()
+    n = 5
+    for sa in range(-2, 3):
+        for sb in range(-2, 3):
+            for ca in range(-3, 4):
+                for cb in range(-3, 4):
+                    v = classify_source_pair(
+                        _access("X", sa, ca), _access("X", sb, cb),
+                        "i", iter_bounds=(0, n - 1))
+                    kinds.add(v.kind)
+    assert {INDEPENDENT, EXACT, ALWAYS} <= kinds
+
+
+# ------------------------------------------------------- mutation tests
+#
+# Each dependence test must be load-bearing: knocking it out of the
+# battery (monkeypatching it to "not applicable") must visibly weaken
+# at least one verdict.  ``classify`` resolves the tests through module
+# globals at call time, so setattr on the module is enough.
+
+def _knockout(monkeypatch, name):
+    monkeypatch.setattr(deps_mod, name, lambda eq: None)
+
+
+def test_mutation_ziv_is_load_bearing(monkeypatch):
+    eq = _eq(const=0)
+    assert classify(eq).kind == ALWAYS
+    _knockout(monkeypatch, "_ziv")
+    assert classify(eq).kind == UNKNOWN
+
+
+def test_mutation_siv_is_load_bearing(monkeypatch):
+    eq = _eq(dist_coeff=1, const=-2)
+    assert classify(eq).kind == EXACT
+    _knockout(monkeypatch, "_siv")
+    assert classify(eq).kind == UNKNOWN
+
+
+def test_mutation_banerjee_is_load_bearing(monkeypatch):
+    eq = _eq(free=(("m", 1),), const=10, var_bounds=(("m", (0, 2)),))
+    assert classify(eq).kind == INDEPENDENT
+    _knockout(monkeypatch, "_banerjee")
+    assert classify(eq).kind == UNKNOWN
+
+
+def test_mutation_gcd_is_load_bearing(monkeypatch):
+    eq = _eq(dist_coeff=2, free=(("m", 2),), const=1)
+    assert classify(eq).kind == INDEPENDENT
+    _knockout(monkeypatch, "_gcd")
+    assert classify(eq).kind == UNKNOWN
+
+
+def test_mutation_battery_stays_sound(monkeypatch):
+    """Removing any single test keeps the battery sound.
+
+    Whatever subset of tests runs, every realized conflict distance
+    must still be admitted — mutations may only lose precision."""
+    n = 5
+    for name in ("_ziv", "_siv", "_banerjee", "_gcd"):
+        with monkeypatch.context() as m:
+            m.setattr(deps_mod, name, lambda eq: None)
+            for sa in (-2, 0, 1, 2):
+                for sb in (-1, 1, 2):
+                    for ca in (-3, 0, 2):
+                        for cb in (-2, 0, 1):
+                            v = classify_source_pair(
+                                _access("X", sa, ca),
+                                _access("X", sb, cb),
+                                "i", iter_bounds=(0, n - 1))
+                            for d in _realized_distances(
+                                    sa, ca, sb, cb, n):
+                                assert v.conflicts_at(d)

@@ -45,22 +45,30 @@ def test_broken_register_versioning_detected():
 
 def test_reordered_memory_instances_detected():
     cfg, stats = _pipelined(DAXPY)
-    info = stats.kernels[0]
-    block = cfg.blocks[info.kernel_label]
-    # Swap the iteration tags of a conflicting load/store pair: the
-    # stream no longer issues conflicting accesses in iteration order.
-    tagged = [i for i in block.instrs if i.uid in info.mem_tags]
+    # Retag a *genuinely* conflicting load/store pair — DAXPY's y-load
+    # and y-store of one iteration touch the same location — so the
+    # stream claims the later access issues first.  The symbolic
+    # analyzer proves cross-iteration pairs independent here (y[i] vs
+    # y[i+d] never collide for d > 0), so only a same-iteration
+    # inversion is a real ordering violation the verifier must reject.
     pair = None
-    for a in tagged:
-        for b in tagged:
-            if (a.uid < b.uid and not (a.is_load and b.is_load)
-                    and a.mem.symbol == b.mem.symbol
-                    and info.mem_tags[a.uid] != info.mem_tags[b.uid]):
-                pair = (a, b)
-    assert pair is not None, "no conflicting tagged pair in kernel"
-    a, b = pair
-    info.mem_tags[a.uid], info.mem_tags[b.uid] = (
-        info.mem_tags[b.uid], info.mem_tags[a.uid])
+    for info in stats.kernels:
+        block = cfg.blocks[info.kernel_label]
+        tagged = [i for i in block.instrs if i.uid in info.mem_tags]
+        for pos_a, a in enumerate(tagged):
+            for b in tagged[pos_a + 1:]:
+                if (not (a.is_load and b.is_load)
+                        and a.mem.symbol == b.mem.symbol
+                        and a.mem.conflicts_with(b.mem)
+                        and info.mem_tags[a.uid][1]
+                        != info.mem_tags[b.uid][1]):
+                    pair = (info, a, b)
+    assert pair is not None, "no conflicting tagged pair in any kernel"
+    info, a, b = pair  # a precedes b in the kernel stream
+    body_a = info.mem_tags[a.uid][1]
+    body_b = info.mem_tags[b.uid][1]
+    info.mem_tags[a.uid] = (0, max(body_a, body_b))
+    info.mem_tags[b.uid] = (0, min(body_a, body_b))
     with pytest.raises(VerificationError, match="memory dependence"):
         verify_pipelined_kernels(cfg, stats.kernels)
 

@@ -181,3 +181,78 @@ def test_manifests_without_oracle_sections_skip_gating():
     assert result.ok
     assert result.oracle_points == 0
     assert "oracle point" not in result.format()
+
+
+# ------------------------------------------------- analysis gating (v6)
+def _analysis_section(**point_over):
+    point = {
+        "loops": 3, "pairs": 40, "independent": 36, "exact": 4,
+        "always": 0, "unknown": 0,
+        "max_live_i": 12, "max_live_f": 20, "over_budget_blocks": 0,
+    }
+    point.update(point_over)
+    return {"schema": 1,
+            "points": {"ear/balanced": point},
+            "totals": {}}
+
+
+def test_analysis_sections_identical_ok():
+    base = dict(BASE, version=6, analysis=_analysis_section())
+    new = dict(BASE, version=6, analysis=_analysis_section())
+    result = diff_manifests(base, new, threshold=0.0)
+    assert result.ok
+    assert result.analysis_points == 1
+    assert "1 analysis point(s)" in result.format()
+
+
+def test_analysis_independent_drop_flagged():
+    base = dict(BASE, version=6, analysis=_analysis_section())
+    new = dict(BASE, version=6,
+               analysis=_analysis_section(independent=35, unknown=1))
+    result = diff_manifests(base, new)
+    assert not result.ok
+    assert any("independent pairs dropped 36 -> 35" in r
+               for r in result.analysis_regressions)
+    assert any("unknown verdicts grew 0 -> 1" in r
+               for r in result.analysis_regressions)
+    assert "!! analysis:" in result.format()
+
+
+def test_analysis_over_budget_growth_flagged():
+    base = dict(BASE, version=6, analysis=_analysis_section())
+    new = dict(BASE, version=6,
+               analysis=_analysis_section(over_budget_blocks=2))
+    result = diff_manifests(base, new)
+    assert any("over-budget blocks grew" in r
+               for r in result.analysis_regressions)
+
+
+def test_analysis_maxlive_growth_threshold():
+    base = dict(BASE, version=6, analysis=_analysis_section())
+    grown = dict(BASE, version=6,
+                 analysis=_analysis_section(max_live_f=21))
+    # At threshold 0 any growth is a regression...
+    result = diff_manifests(base, grown, threshold=0.0)
+    assert any("max_live_f 20 -> 21" in r
+               for r in result.analysis_regressions)
+    # ...but a 5% growth passes a 10% tolerance.
+    assert diff_manifests(base, grown, threshold=0.10).ok
+    # Shrinking is never flagged.
+    shrunk = dict(BASE, version=6,
+                  analysis=_analysis_section(max_live_i=1))
+    assert diff_manifests(base, shrunk, threshold=0.0).ok
+
+
+def test_analysis_point_missing_from_new_flagged():
+    base = dict(BASE, version=6, analysis=_analysis_section())
+    new = dict(BASE, version=6,
+               analysis={"schema": 1, "points": {}, "totals": {}})
+    result = diff_manifests(base, new)
+    assert any("missing" in r for r in result.analysis_regressions)
+
+
+def test_manifests_without_analysis_sections_skip_gating():
+    result = diff_manifests(BASE, BASE)
+    assert result.ok
+    assert result.analysis_points == 0
+    assert "analysis point" not in result.format()

@@ -1,0 +1,139 @@
+"""Pressure feedback in the balanced weights (schedule-driven MAXLIVE)."""
+
+import pytest
+
+from repro.harness.compile import Options
+from repro.ir import build_dag
+from repro.isa import Instruction, MemRef, Reg
+from repro.machine import DEFAULT_CONFIG
+from repro.sched import BalancedWeights
+from repro.sched.weights import _scheduled_maxlive
+from repro.workloads import parallel_loads_dag
+
+
+def vi(n):
+    return Reg("i", n, virtual=True)
+
+
+def vf(n):
+    return Reg("f", n, virtual=True)
+
+
+def _fld(dest, base, element):
+    return Instruction("FLD", dest=vf(dest), srcs=(vi(base),),
+                       offset=8 * element,
+                       mem=MemRef("data", "A", affine=({}, element)))
+
+
+def _overflow_dag(n_loads=None, n_alu=8):
+    """Independent FP loads, all live to the block end, over budget."""
+    if n_loads is None:
+        n_loads = DEFAULT_CONFIG.allocatable_fp_regs + 5
+    instrs = [Instruction("LDI", dest=vi(9000), imm=64)]
+    for k in range(n_loads):
+        instrs.append(_fld(k, 9000, element=k))
+    for k in range(n_alu):
+        instrs.append(Instruction("ADD", dest=vi(2000 + k),
+                                  srcs=(vi(9000),), imm=k))
+    return build_dag(instrs)
+
+
+# ---------------------------------------------------- scheduled MAXLIVE
+def test_scheduled_maxlive_empty():
+    dag = build_dag([])
+    assert _scheduled_maxlive(dag, []) == {"i": 0, "f": 0}
+
+
+def test_scheduled_maxlive_chain():
+    instrs = [Instruction("LDI", dest=vi(0), imm=1),
+              Instruction("ADD", dest=vi(1), srcs=(vi(0),), imm=1),
+              Instruction("ADD", dest=vi(2), srcs=(vi(1),), imm=1)]
+    dag = build_dag(instrs)
+    # v0 live [0,1], v1 live [1,2], v2 (never read) held to the end.
+    assert _scheduled_maxlive(dag, [0, 1, 2])["i"] == 2
+
+
+def test_scheduled_maxlive_counts_live_in():
+    # v7 is read before any local def: live from slot 0.
+    instrs = [Instruction("LDI", dest=vi(0), imm=1),
+              Instruction("ADD", dest=vi(1), srcs=(vi(7),), imm=1)]
+    dag = build_dag(instrs)
+    assert _scheduled_maxlive(dag, [0, 1])["i"] == 3
+
+
+def test_scheduled_maxlive_ignores_zero_registers():
+    instrs = [Instruction("ADD", dest=vi(0), srcs=(Reg("i", 31),),
+                          imm=1)]
+    dag = build_dag(instrs)
+    assert _scheduled_maxlive(dag, [0]) == {"i": 1, "f": 0}
+
+
+def test_scheduled_maxlive_separates_banks():
+    instrs = [Instruction("LDI", dest=vi(0), imm=8),
+              _fld(1, 0, 0), _fld(2, 0, 1),
+              Instruction("FADD", dest=vf(3), srcs=(vf(1), vf(2)))]
+    dag = build_dag(instrs)
+    live = _scheduled_maxlive(dag, [0, 1, 2, 3])
+    assert live["f"] == 3           # f1, f2 at the FADD defining f3
+    assert live["i"] == 1
+
+
+# ------------------------------------------------------- feedback loop
+def test_feedback_noop_when_block_fits():
+    dag = parallel_loads_dag(n_loads=4, n_alu=8)
+    base = BalancedWeights().weights(dag)
+    fed = BalancedWeights(pressure=True).weights(dag)
+    assert fed == base
+
+
+def test_feedback_demotes_on_overflow():
+    dag = _overflow_dag()
+    base = BalancedWeights().weights(dag)
+    fed = BalancedWeights(pressure=True).weights(dag)
+    floor = float(DEFAULT_CONFIG.load_hit_latency)
+    loads = [k for k, ins in enumerate(dag.instrs) if ins.is_load]
+    # The boosted weights overflow the FP bank, so some loads must be
+    # stripped back to the hit floor...
+    assert any(fed[k] == floor and base[k] > floor for k in loads)
+    # ...and feedback only ever demotes, never boosts.
+    assert all(fed[k] <= base[k] for k in range(len(base)))
+    # Non-load weights are untouched.
+    assert all(fed[k] == base[k]
+               for k in range(len(base)) if k not in loads)
+
+
+def test_feedback_prefers_lowest_weighted_loads():
+    # Loads with more parallelism (higher weight) keep their boost
+    # longest: build an overflow DAG where one load also feeds a long
+    # consumer chain (serial -> lower weight than the parallel rest).
+    n = DEFAULT_CONFIG.allocatable_fp_regs + 2
+    instrs = [Instruction("LDI", dest=vi(9000), imm=64)]
+    for k in range(n):
+        instrs.append(_fld(k, 9000, element=k))
+    # Chain hanging off load 0 makes every other load strictly richer.
+    instrs.append(Instruction("FADD", dest=vf(100),
+                              srcs=(vf(0), vf(0))))
+    for k in range(6):
+        instrs.append(Instruction("FADD", dest=vf(101 + k),
+                                  srcs=(vf(100 + k), vf(100 + k))))
+    dag = build_dag(instrs)
+    base = BalancedWeights().weights(dag)
+    fed = BalancedWeights(pressure=True).weights(dag)
+    load_nodes = [k for k, ins in enumerate(dag.instrs) if ins.is_load]
+    poorest = min(load_nodes, key=lambda k: base[k])
+    floor = float(DEFAULT_CONFIG.load_hit_latency)
+    if any(fed[k] == floor and base[k] > floor for k in load_nodes):
+        assert fed[poorest] == floor
+
+
+# ------------------------------------------------------- options wiring
+def test_pressure_option_label_and_validation():
+    opts = Options(pressure=True)
+    assert "prs" in opts.label()
+    opts.validate()
+    with pytest.raises(ValueError):
+        Options(scheduler="traditional", pressure=True).validate()
+
+
+def test_pressure_label_absent_by_default():
+    assert "prs" not in Options().label()
